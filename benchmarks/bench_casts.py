@@ -1,0 +1,60 @@
+"""Benchmark: the cast-reduction headline (§5.3, Table 2 Casts columns).
+
+Measures, per app and in aggregate, how many ``type_cast``s a programmer
+needs with comp types versus plain RDL — the paper reports 37 vs 176,
+a 4.75x reduction.  We assert the same direction and a ≥3x factor.
+"""
+
+import pytest
+
+from repro.apps import all_apps
+
+
+def _cast_counts(app):
+    rdl = app.build()
+    report = rdl.check(app.label)
+    known = {e.method for e in report.errors}
+    rdl_mode = app.build(use_comp_types=False, repair_with_casts=True,
+                         insert_checks=False)
+    rdl_mode.config.known_errors = known
+    rdl_report = rdl_mode.check(app.label)
+    return report.casts_used, rdl_report.casts_used + rdl_report.oracle_casts
+
+
+@pytest.mark.parametrize("app", all_apps(), ids=lambda a: a.name)
+def test_comp_types_never_need_more_casts(app):
+    comp, plain = _cast_counts(app)
+    assert comp <= plain, f"{app.name}: comp={comp} > rdl={plain}"
+
+
+def test_aggregate_cast_reduction(capsys):
+    total_comp = 0
+    total_plain = 0
+    lines = []
+    for app in all_apps():
+        comp, plain = _cast_counts(app)
+        total_comp += comp
+        total_plain += plain
+        lines.append(f"  {app.name:<12} casts(comp)={comp:2d} casts(RDL)={plain:2d} "
+                     f"(paper: {app.paper.get('casts')}/{app.paper.get('casts_rdl')})")
+    ratio = total_plain / max(total_comp, 1)
+    with capsys.disabled():
+        print()
+        print("Cast counts (CompRDL vs plain RDL):")
+        for line in lines:
+            print(line)
+        print(f"  total: {total_comp} vs {total_plain} -> {ratio:.2f}x fewer "
+              f"(paper: 37 vs 176 -> 4.75x)")
+    assert ratio >= 3.0
+
+
+def test_bench_rdl_mode_checking(benchmark):
+    """RDL-mode checking speed (the baseline the paper compares against)."""
+    app = all_apps()[2]  # Discourse, the largest Rails app
+
+    def run():
+        rdl = app.build(use_comp_types=False, repair_with_casts=True,
+                        insert_checks=False)
+        return rdl.check(app.label)
+
+    benchmark(run)

@@ -1,0 +1,93 @@
+"""Ablation benchmarks for CompRDL's design choices (DESIGN.md §Key
+design decisions).
+
+* comp evaluation cost: evaluating ``schema_type``/``joins_type`` per call
+  site during checking (the price of type-level computation);
+* the §4 consistency-check cache: re-validating comp types at run time
+  with a warm vs cold cache;
+* SQL fragment checking (§2.3): parse + wrap + check per `where` site.
+"""
+
+import pytest
+
+from repro import CompRDL, Database
+from repro.rtypes import parse_method_type
+from repro.sqltc.checker import check_fragment
+
+
+def _db():
+    db = Database()
+    db.create_table("users", username="string", staged="boolean")
+    db.create_table("emails", email="string", user_id="integer")
+    db.declare_association("users", "emails")
+    return db
+
+
+FIG1 = '''
+class User < ActiveRecord::Base
+  has_many :emails
+  type "( String, String ) -> %bool", typecheck: :model
+  def self.available?(name, email)
+    return true if !User.exists?({ username: name })
+    return User.joins( :emails ).exists?({ staged: true, username: name, emails: { email: email } })
+  end
+end
+'''
+
+
+def test_bench_comp_evaluation_during_checking(benchmark):
+    """Cost of a full check of Fig. 1's available? (4 comp evaluations)."""
+    def run():
+        rdl = CompRDL(db=_db())
+        rdl.load(FIG1)
+        return rdl.check(":model")
+
+    report = benchmark(run)
+    assert report.ok()
+
+
+def test_bench_runtime_checks_cold_cache(benchmark):
+    """One checked call with a cold consistency cache (full re-evaluation)."""
+    def run():
+        rdl = CompRDL(db=_db())
+        rdl.load(FIG1)
+        rdl.check(":model")
+        return rdl.run('User.available?("zoe", "z@e.com")', checks=True)
+
+    benchmark(run)
+
+
+def test_bench_runtime_checks_warm_cache(benchmark):
+    """Steady-state checked calls (version-keyed cache hits, §4 note)."""
+    rdl = CompRDL(db=_db())
+    rdl.load(FIG1)
+    rdl.check(":model")
+    rdl.run('User.available?("zoe", "z@e.com")', checks=True)
+    benchmark(lambda: rdl.run('User.available?("zoe", "z@e.com")', checks=True))
+
+
+def test_bench_unchecked_calls(benchmark):
+    """The same call with dynamic checks disabled (the overhead baseline)."""
+    rdl = CompRDL(db=_db())
+    rdl.load(FIG1)
+    rdl.check(":model")
+    benchmark(lambda: rdl.run('User.available?("zoe", "z@e.com")', checks=False))
+
+
+def test_bench_sql_fragment_checking(benchmark):
+    """Fig. 3: wrap + parse + type check one raw-SQL fragment."""
+    db = Database()
+    db.create_table("posts", topic_id="integer")
+    db.create_table("topics", title="string")
+    db.create_table("topic_allowed_groups", group_id="integer",
+                    topic_id="integer")
+    fragment = ("topics.title IN (SELECT title FROM topics WHERE id IN "
+                "(SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?))")
+    benchmark(lambda: check_fragment(db, ["posts", "topics"], fragment,
+                                     ["integer"]))
+
+
+def test_bench_signature_parsing(benchmark):
+    """Parsing a comp signature string (annotation-load ablation)."""
+    sig = "(t<:«where_arg_type(tself, t, targs)», *targs<:Object) -> «table_type_of(tself)»/Table"
+    benchmark(lambda: parse_method_type(sig))

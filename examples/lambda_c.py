@@ -1,0 +1,87 @@
+"""The λC core calculus (the paper's §3).
+
+Builds the paper's running example — a comp signature for ``Bool.∧`` that
+computes singleton types — then shows the check-insertion rules rewriting a
+call to a checked call ⌈A⌉e.m(e), the machine running it, and blame firing
+when a library lies about its return type.
+
+Run: python examples/lambda_c.py
+"""
+
+from repro.lambdac import (
+    Call,
+    ClassTable,
+    CompSig,
+    Eq,
+    If,
+    LibMethod,
+    Machine,
+    MethodSig,
+    Program,
+    TSelfE,
+    Val,
+    Var,
+    VBool,
+    VClassId,
+    check_and_rewrite,
+    type_check,
+)
+
+TRUE = Val(VBool(True))
+FALSE = Val(VBool(False))
+
+
+def truthy(v) -> bool:
+    return isinstance(v, VBool) and v.value
+
+
+def build_table() -> ClassTable:
+    # lib Bool.∧(x) : (a<:Bool/Bool) → (if (tself==True) ∧ (a==True) then True
+    #                                   else if ... then False else Bool)/Bool
+    rng = If(
+        Call(Eq(TSelfE(), Val(VClassId("True"))), "and",
+             Eq(Var("a"), Val(VClassId("True")))),
+        Val(VClassId("True")),
+        If(Call(Eq(TSelfE(), Val(VClassId("False"))), "or",
+                Eq(Var("a"), Val(VClassId("False")))),
+           Val(VClassId("False")),
+           Val(VClassId("Bool"))),
+    )
+    program = Program(lib_methods=[
+        LibMethod("Bool", "and",
+                  CompSig("a", Val(VClassId("Bool")), "Bool", rng, "Bool"),
+                  lambda recv, arg: VBool(truthy(recv) and truthy(arg))),
+        LibMethod("Bool", "or", MethodSig("Bool", "Bool"),
+                  lambda recv, arg: VBool(truthy(recv) or truthy(arg))),
+    ])
+    return ClassTable.from_program(program)
+
+
+def main() -> None:
+    table = build_table()
+
+    # C-App-Comp: true.∧(true) computes the singleton type True
+    expr = Call(TRUE, "and", TRUE)
+    rewritten, t = check_and_rewrite(table, expr)
+    print(f"⊢ {expr} ↪ {rewritten} : {t}")
+    print(f"  pure typing agrees: {type_check(table, rewritten)}")
+    result = Machine(table).run(rewritten)
+    print(f"  machine: {result.value}")
+
+    # the fallback case: a non-singleton receiver types at Bool
+    fallback = Call(If(Eq(TRUE, TRUE), TRUE, FALSE), "and", TRUE)
+    _, t2 = check_and_rewrite(table, fallback)
+    print(f"\n⊢ {fallback} : {t2}  (fallback: receiver joins to Bool)")
+
+    # blame: a library that violates its checked type
+    table.define_lib(LibMethod("Bool", "lie", MethodSig("Bool", "True"),
+                               lambda recv, arg: VBool(False)))
+    lying = Call(TRUE, "lie", TRUE)
+    rewritten, t3 = check_and_rewrite(table, lying)
+    print(f"\n⊢ {lying} ↪ {rewritten} : {t3}")
+    result = Machine(table).run(rewritten)
+    print(f"  machine: blame! {result.blame_message}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: annotate, type check, and run a mini-Ruby program.
+
+Shows the CompRDL workflow from §2: load a program (annotations are plain
+method calls executed by running it), type check the labelled methods, then
+run it with the inserted dynamic checks enabled.
+
+Run: python examples/quickstart.py
+"""
+
+from repro import CompRDL
+
+PROGRAM = """
+class Greeter
+  type :greeting_parts, "() -> { salutation: String, punctuation: String }"
+  def greeting_parts
+    { salutation: "Hello", punctuation: "!" }
+  end
+
+  # Hash#[] has a comp type: with a finite-hash receiver and a singleton
+  # key it returns the exact entry type, so no casts are needed (§2.2)
+  type "(String) -> String", typecheck: :app
+  def greet(name)
+    parts = greeting_parts
+    parts[:salutation] + ", " + name + parts[:punctuation]
+  end
+
+  # constant folding (§2.4): 20 + 22 gets the singleton type 42
+  type "() -> 42", typecheck: :app
+  def answer
+    20 + 22
+  end
+
+  # tuple types: [Integer, String] tracks each element precisely
+  type "() -> String", typecheck: :app
+  def second_element
+    pair = [1, "two"]
+    pair.last
+  end
+end
+"""
+
+
+def main() -> None:
+    rdl = CompRDL()
+    rdl.load(PROGRAM)
+
+    report = rdl.check(":app")
+    print("Type checking:", "OK" if report.ok() else "FAILED")
+    print(report.summary())
+
+    result = rdl.run('Greeter.new.greet("World")', checks=True)
+    print("\nRunning greet with dynamic checks on:", result.val)
+    print("Running answer:", rdl.run("Greeter.new.answer", checks=True))
+
+    # An ill-typed variant is rejected statically:
+    bad = CompRDL()
+    bad.load("""
+class Bad
+  type :parts, "() -> { count: Integer }"
+  def parts
+    { count: 3 }
+  end
+
+  type "() -> String", typecheck: :app
+  def broken
+    parts[:count]
+  end
+end
+""")
+    bad_report = bad.check(":app")
+    print("\nIll-typed variant:")
+    print(bad_report.summary())
+
+
+if __name__ == "__main__":
+    main()

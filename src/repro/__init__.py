@@ -1,0 +1,43 @@
+"""CompRDL reproduction: type-level computations for Ruby libraries.
+
+A self-contained Python reimplementation of the PLDI 2019 paper
+*Type-Level Computations for Ruby Libraries* (Kazerounian, Guria, Vazou,
+Foster, Van Horn), including the mini-Ruby substrate, the RDL-style type
+system extended with comp types, the database/ORM/SQL substrates, the lambda-C
+core calculus, and the evaluation harness for the paper's Tables 1 and 2.
+
+Quick start::
+
+    from repro import CompRDL, Database
+
+    db = Database()
+    db.create_table("users", username="string", staged="boolean")
+    rdl = CompRDL(db=db)
+    rdl.load('''
+      class User < ActiveRecord::Base
+        type "(String) -> %bool", typecheck: :app
+        def self.taken?(name)
+          User.exists?({ username: name })
+        end
+      end
+    ''')
+    report = rdl.check(":app")
+    print(report.summary())
+"""
+
+from repro.api import CompRDL
+from repro.db.schema import Database
+from repro.runtime.errors import Blame, RubyError
+from repro.typecheck.errors import StaticTypeError, TypeErrorReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Blame",
+    "CompRDL",
+    "Database",
+    "RubyError",
+    "StaticTypeError",
+    "TypeErrorReport",
+    "__version__",
+]

@@ -1,0 +1,98 @@
+"""Comp type annotations for Hash (paper: 48 definitions).
+
+``Hash#[]`` is the paper's motivating example (§2.2): on a finite hash
+receiver with a singleton key, the result is the exact entry type, which
+eliminates the cast in Fig. 2's ``image_url``.
+"""
+
+from __future__ import annotations
+
+from repro.annotations.sigs import install_table
+
+_V = "«hash_value_type(tself)»/Object"
+_K = "«hash_key_type(tself)»/Object"
+
+HASH_SIGS: dict[str, object] = {
+    # the conventional `(k) -> v` overloads give plain-RDL behaviour when
+    # comp types are disabled (§2.2's promoted typing)
+    "[]": ["(t<:Object) -> «hash_access_type(tself, t)»/Object",
+           "(k) -> v"],
+    "[]=": ["(t<:Object, u<:Object) -> «u»/Object", "(k, v) -> v"],
+    "store": ["(t<:Object, u<:Object) -> «u»/Object", "(k, v) -> v"],
+    "fetch": ["(t<:Object) -> «hash_fetch_type(tself, t)»/Object",
+              "(k) -> v",
+              f"(Object, Object) -> {_V}"],
+    "dig": "(Object, *Object) -> %any",
+    "key?": "(t<:Object) -> «hash_has_key_type(tself, t)»/%bool",
+    "has_key?": "(t<:Object) -> «hash_has_key_type(tself, t)»/%bool",
+    "include?": "(t<:Object) -> «hash_has_key_type(tself, t)»/%bool",
+    "member?": "(t<:Object) -> «hash_has_key_type(tself, t)»/%bool",
+    "value?": "(Object) -> %bool",
+    "has_value?": "(Object) -> %bool",
+    "key": f"(Object) -> {_K} or nil",
+    "keys": ["() -> «hash_keys_type(tself)»/Array<Object>", "() -> Array<k>"],
+    "values": ["() -> «hash_values_type(tself)»/Array<Object>", "() -> Array<v>"],
+    "values_at": f"(*Object) -> Array<{'Object'}>",
+    "length": "() -> «hash_size_type(tself)»/Integer",
+    "size": "() -> «hash_size_type(tself)»/Integer",
+    "count": "() -> Integer",
+    "empty?": "() -> «hash_empty_type(tself)»/%bool",
+    "delete": f"(Object) -> {_V} or nil",
+    "delete_if": f"() {{ ({_K}, {_V}) -> %bool }} -> self",
+    "clear": "() -> self",
+    "each": [f"() {{ ({_K}, {_V}) -> Object }} -> self",
+             "() { (k, v) -> Object } -> self"],
+    "each_pair": [f"() {{ ({_K}, {_V}) -> Object }} -> self",
+                  "() { (k, v) -> Object } -> self"],
+    "each_key": f"() {{ ({_K}) -> Object }} -> self",
+    "each_value": f"() {{ ({_V}) -> Object }} -> self",
+    "each_with_object": f"(t<:Object) {{ (Object, t) -> Object }} -> t",
+    "map": f"() {{ ({_K}, {_V}) -> t }} -> Array<t>",
+    "collect": f"() {{ ({_K}, {_V}) -> t }} -> Array<t>",
+    "flat_map": f"() {{ ({_K}, {_V}) -> Object }} -> Array<Object>",
+    "select": f"() {{ ({_K}, {_V}) -> %bool }} -> «tself»/Hash",
+    "filter": f"() {{ ({_K}, {_V}) -> %bool }} -> «tself»/Hash",
+    "filter_map": f"() {{ ({_K}, {_V}) -> t }} -> Array<t>",
+    "reject": f"() {{ ({_K}, {_V}) -> %bool }} -> «tself»/Hash",
+    "find": f"() {{ ({_K}, {_V}) -> %bool }} -> [Object, Object] or nil",
+    "detect": f"() {{ ({_K}, {_V}) -> %bool }} -> [Object, Object] or nil",
+    "merge": ["(t<:Hash) -> «hash_merge_type(tself, t)»/Hash",
+              "(Hash<k, v>) -> Hash<k, v>"],
+    "merge!": ["(t<:Hash) -> «hash_merge_type(tself, t)»/Hash",
+               "(Hash<k, v>) -> Hash<k, v>"],
+    "update": ["(t<:Hash) -> «hash_merge_type(tself, t)»/Hash",
+               "(Hash<k, v>) -> Hash<k, v>"],
+    "to_a": "() -> «hash_to_a_type(tself)»/Array<Object>",
+    "to_h": "() -> «tself»/Hash",
+    "to_s": "() -> String",
+    "inspect": "() -> String",
+    "invert": f"() -> Hash<Object, Object>",
+    "any?": f"() {{ ({_K}, {_V}) -> %bool }} -> %bool",
+    "all?": f"() {{ ({_K}, {_V}) -> %bool }} -> %bool",
+    "none?": f"() {{ ({_K}, {_V}) -> %bool }} -> %bool",
+    "sum": f"() {{ ({_K}, {_V}) -> Object }} -> Object",
+    "min_by": f"() {{ ({_K}, {_V}) -> Object }} -> [Object, Object] or nil",
+    "max_by": f"() {{ ({_K}, {_V}) -> Object }} -> [Object, Object] or nil",
+    "sort_by": f"() {{ ({_K}, {_V}) -> Object }} -> Array<Object>",
+    "group_by": f"() {{ ({_K}, {_V}) -> Object }} -> Hash<Object, Object>",
+    "partition": f"() {{ ({_K}, {_V}) -> %bool }} -> [Array<Object>, Array<Object>]",
+    "transform_values": f"() {{ ({_V}) -> t }} -> Hash<{'Object'}, t>",
+    "transform_keys": f"() {{ ({_K}) -> t }} -> Hash<t, Object>",
+    "compact": "() -> «tself»/Hash",
+    "slice": "(*Object) -> «tself»/Hash",
+    "except": "(*Object) -> «tself»/Hash",
+    "reduce": f"(Object) {{ (Object, Object) -> Object }} -> Object",
+    "inject": f"(Object) {{ (Object, Object) -> Object }} -> Object",
+    "==": "(Object) -> %bool",
+    "eql?": "(Object) -> %bool",
+    "dup": "() -> «tself»/Hash",
+    "clone": "() -> «tself»/Hash",
+    "freeze": "() -> self",
+    "frozen?": "() -> %bool",
+    "sort": "() -> Array<Array<Object>>",
+    "hash": "() -> Integer",
+}
+
+
+def install(rdl) -> dict[str, int]:
+    return install_table(rdl, "Hash", HASH_SIGS)

@@ -1,0 +1,103 @@
+"""The public CompRDL facade.
+
+Ties the whole system together, mirroring RDL's workflow (§2):
+
+1. construct a :class:`CompRDL` instance (optionally with a database);
+2. :meth:`load` mini-Ruby programs — running them registers classes,
+   methods, and ``type`` annotations;
+3. :meth:`check` labelled methods — comp types evaluate during checking
+   and dynamic checks are attached to comp-typed call sites;
+4. :meth:`run` code with ``checks_enabled`` to execute those dynamic
+   checks (Blame on violation).
+
+Example::
+
+    from repro import CompRDL, Database
+
+    db = Database()
+    db.create_table("users", username="string", staged="boolean")
+    rdl = CompRDL(db=db)
+    rdl.load(APP_SOURCE)
+    report = rdl.check(":model")
+    assert report.ok()
+"""
+
+from __future__ import annotations
+
+from repro.annotations import install_all
+from repro.comp.reflect import install_type_reflection
+from repro.db.schema import Database
+from repro.orm.activerecord import install_activerecord
+from repro.orm.sequel import install_sequel
+from repro.runtime.interp import Interp
+from repro.typecheck.checker import CheckerConfig, TypeChecker
+from repro.typecheck.errors import TypeErrorReport
+from repro.typecheck.registry import AnnotationRegistry
+
+
+class CompRDL:
+    """One CompRDL universe: interpreter + registry + checker + DB."""
+
+    def __init__(
+        self,
+        db: Database | None = None,
+        use_comp_types: bool = True,
+        insert_checks: bool = True,
+        install_libraries: bool = True,
+        repair_with_casts: bool = False,
+    ):
+        self.interp = Interp()
+        self.registry = AnnotationRegistry()
+        self.interp.registry = self.registry
+        install_type_reflection(self.interp)
+        self.db = db if db is not None else Database()
+        install_activerecord(self.interp, self.db)
+        install_sequel(self.interp, self.db)
+        self.library_stats: dict = {}
+        if install_libraries:
+            self.library_stats = install_all(self)
+        self.config = CheckerConfig(
+            use_comp_types=use_comp_types,
+            insert_checks=insert_checks,
+            repair_with_casts=repair_with_casts,
+        )
+        self.checker = TypeChecker(self.interp, self.registry, self.config)
+
+    # ------------------------------------------------------------------
+    def load(self, source: str):
+        """Execute a mini-Ruby program (defining classes and annotations)."""
+        return self.interp.run(source)
+
+    def check(self, label: str) -> TypeErrorReport:
+        """Type check every method annotated ``typecheck: :label``."""
+        label = label.lstrip(":")
+        return self.checker.check_label(label)
+
+    def check_method(self, class_name: str, method_name: str,
+                     static: bool = False) -> TypeErrorReport:
+        return self.checker.check_method(class_name, method_name, static)
+
+    def check_requests(self) -> TypeErrorReport:
+        """Honour every ``RDL.do_typecheck :label`` the program issued."""
+        for label in self.registry.typecheck_requests:
+            self.checker.check_label(label)
+        return self.checker.report
+
+    # ------------------------------------------------------------------
+    def run(self, source: str, checks: bool | None = None):
+        """Run code, optionally toggling the inserted dynamic checks."""
+        previous = self.interp.checks_enabled
+        if checks is not None:
+            self.interp.checks_enabled = checks
+        try:
+            return self.interp.run(source)
+        finally:
+            self.interp.checks_enabled = previous
+
+    @property
+    def report(self) -> TypeErrorReport:
+        return self.checker.report
+
+    @property
+    def stdout(self) -> list[str]:
+        return self.interp.stdout

@@ -1,0 +1,26 @@
+"""The six subject programs of the paper's evaluation (Table 2).
+
+Each module ports the *checked method patterns* of one benchmark — the
+paper's §5.2 selection: JSON-hash handling for the API client libraries
+(Wikipedia, Twitter), and database-query-heavy model methods for the Rails
+apps (Discourse, Huginn, Code.org, Journey), including the three real bugs
+the paper found (one documentation error in Code.org, two type errors in
+Journey).
+"""
+
+from repro.apps.base import SubjectApp
+from repro.apps.wikipedia import WIKIPEDIA
+from repro.apps.twitter import TWITTER
+from repro.apps.discourse import DISCOURSE
+from repro.apps.huginn import HUGINN
+from repro.apps.codeorg import CODEORG
+from repro.apps.journey import JOURNEY
+
+
+def all_apps() -> list[SubjectApp]:
+    """The benchmarks in the paper's Table 2 order."""
+    return [WIKIPEDIA, TWITTER, DISCOURSE, HUGINN, CODEORG, JOURNEY]
+
+
+__all__ = ["SubjectApp", "all_apps", "WIKIPEDIA", "TWITTER", "DISCOURSE",
+           "HUGINN", "CODEORG", "JOURNEY"]

@@ -1,0 +1,102 @@
+"""Subject app descriptor plus shared support (JSON substrate)."""
+
+from __future__ import annotations
+
+import json as pyjson
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.db.schema import Database
+from repro.rtypes.kinds import Sym
+from repro.runtime.objects import RArray, RHash, RMethod, RString
+
+
+@dataclass
+class SubjectApp:
+    """One Table 2 benchmark: schema, source, tests, expectations."""
+
+    name: str
+    label: str
+    source: str
+    setup_db: Callable[[Database], None] = lambda db: None
+    test_suite: str = ""
+    expected_errors: int = 0
+    # paper's reported numbers, for side-by-side reporting
+    paper: dict = field(default_factory=dict)
+
+    def build(self, **kwargs):
+        """A fresh CompRDL universe with this app loaded (not yet checked)."""
+        from repro.api import CompRDL
+
+        db = Database()
+        self.setup_db(db)
+        rdl = CompRDL(db=db, **kwargs)
+        install_json(rdl.interp)
+        rdl.load(self.source)
+        return rdl
+
+    def source_loc(self) -> int:
+        """sloccount-style LoC of the app source (non-blank, non-comment)."""
+        return sum(
+            1 for line in self.source.splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        )
+
+
+def install_json(interp) -> None:
+    """A native JSON module: ``JSON.parse`` returns nested hashes/arrays.
+
+    Mirrors the paper's benchmarks, where API clients parse HTTP responses
+    and the result needs a ``type_cast`` (§5.3: "Many of these type casts
+    were to the result of JSON.parse").
+    """
+    json_class = interp.define_class("JSON", "Object")
+
+    def parse(i, recv, args, block):
+        text = args[0].val if args and isinstance(args[0], RString) else "null"
+        try:
+            data = pyjson.loads(text)
+        except pyjson.JSONDecodeError as exc:
+            from repro.runtime.errors import RubyError
+
+            raise RubyError("JSONError", str(exc))
+        return _to_runtime(data)
+
+    def generate(i, recv, args, block):
+        return RString(pyjson.dumps(_from_runtime(args[0] if args else None)))
+
+    json_class.define("parse", RMethod("parse", native=parse), static=True)
+    json_class.define("generate", RMethod("generate", native=generate), static=True)
+    if interp.registry is not None:
+        interp.registry.annotate("JSON", "parse", "(String) -> %any", static=True)
+        interp.registry.annotate("JSON", "generate", "(Object) -> String", static=True)
+
+
+def _to_runtime(data):
+    if isinstance(data, dict):
+        return RHash.from_pairs((Sym(k), _to_runtime(v)) for k, v in data.items())
+    if isinstance(data, list):
+        return RArray([_to_runtime(v) for v in data])
+    if isinstance(data, str):
+        return RString(data)
+    return data
+
+
+def _from_runtime(value):
+    if isinstance(value, RHash):
+        return {_key_str(k): _from_runtime(v) for k, v in value.pairs()}
+    if isinstance(value, RArray):
+        return [_from_runtime(v) for v in value.items]
+    if isinstance(value, RString):
+        return value.val
+    if isinstance(value, Sym):
+        return value.name
+    return value
+
+
+def _key_str(key) -> str:
+    if isinstance(key, Sym):
+        return key.name
+    if isinstance(key, RString):
+        return key.val
+    return str(key)

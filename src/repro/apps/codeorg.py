@@ -1,0 +1,260 @@
+"""Code.org benchmark: the code.org learning platform (§5.2).
+
+Uses **both** ActiveRecord and Sequel, as the real app does; the paper
+type checked all methods that query the database through Sequel.  Contains
+the paper's first found bug: ``current_user`` was *documented* as returning
+a ``User`` but actually returns a hash — CompRDL reports the mismatch and
+the developers fixed the documentation (§5.3, Errors = 1).
+"""
+
+from repro.apps.base import SubjectApp
+from repro.db.schema import Database
+
+_SOURCE = '''
+class User < ActiveRecord::Base
+  has_many :sections
+
+  type "(String) -> %bool", typecheck: :codeorg
+  def self.username_free?(name)
+    !User.exists?({ username: name })
+  end
+
+  type "(String) -> User or nil", typecheck: :codeorg
+  def self.by_email(address)
+    User.find_by({ email: address })
+  end
+
+  type "() -> Integer", typecheck: :codeorg
+  def self.teacher_count
+    User.where({ user_type: "teacher" }).count
+  end
+
+  type "() -> Integer", typecheck: :codeorg
+  def self.student_count
+    User.where({ user_type: "student" }).count
+  end
+
+  type "() -> Array<String>", typecheck: :codeorg
+  def self.admin_emails
+    User.where({ admin: true }).pluck(:email)
+  end
+
+  type "() -> Integer", typecheck: :codeorg
+  def self.total_lines_written
+    User.where({ user_type: "student" }).sum(:total_lines)
+  end
+
+  type "() -> %bool", typecheck: :codeorg
+  def teacher?
+    user_type == "teacher"
+  end
+
+  type "() -> %bool", typecheck: :codeorg
+  def student?
+    user_type == "student"
+  end
+
+  type "() -> String", typecheck: :codeorg
+  def short_name
+    username.split(" ").first
+  end
+end
+
+class Session
+  type :session_data, "() -> { id: Integer, username: String }"
+  def session_data
+    { id: 1, username: "guest" }
+  end
+
+  # BUG (found by CompRDL, confirmed by developers as a documentation
+  # error): documented to return a User, actually returns the session hash
+  type "() -> User", typecheck: :codeorg
+  def current_user
+    session_data
+  end
+end
+
+class Section < ActiveRecord::Base
+  type "(String) -> Section or nil", typecheck: :codeorg
+  def self.by_code(login_code)
+    Section.find_by({ code: login_code })
+  end
+
+  type "(Integer) -> Array<String>", typecheck: :codeorg
+  def self.names_for_teacher(uid)
+    Section.where({ user_id: uid }).pluck(:name)
+  end
+
+  type "(Integer) -> Integer", typecheck: :codeorg
+  def self.count_for_teacher(uid)
+    Section.where({ user_id: uid }).count
+  end
+
+  type "() -> %bool", typecheck: :codeorg
+  def hidden_section?
+    hidden
+  end
+end
+
+class Stats
+  # Sequel dataset queries (the style Code.org uses for reporting)
+  type "() -> Integer", typecheck: :codeorg
+  def self.user_count
+    DB[:users].count
+  end
+
+  type "(String) -> Integer", typecheck: :codeorg
+  def self.count_by_type(kind)
+    DB[:users].where({ user_type: kind }).count
+  end
+
+  type "() -> Array<String>", typecheck: :codeorg
+  def self.all_usernames
+    DB[:users].select_map(:username)
+  end
+
+  type "() -> Integer or nil", typecheck: :codeorg
+  def self.max_lines
+    DB[:users].max(:total_lines)
+  end
+
+  type "() -> Integer or nil", typecheck: :codeorg
+  def self.min_lines
+    DB[:users].min(:total_lines)
+  end
+
+  type "() -> Integer", typecheck: :codeorg
+  def self.lines_sum
+    DB[:users].sum_of(:total_lines)
+  end
+
+  type "(Integer) -> Integer", typecheck: :codeorg
+  def self.follower_count(section_id)
+    DB[:followers].where({ section_id: section_id }).count
+  end
+
+  type "(Integer) -> Array<Integer>", typecheck: :codeorg
+  def self.student_ids(section_id)
+    DB[:followers].where({ section_id: section_id }).select_map(:student_user_id)
+  end
+
+  type "() -> Integer", typecheck: :codeorg
+  def self.visible_script_count
+    DB[:scripts].exclude({ hidden: true }).count
+  end
+
+  type "() -> Array<String>", typecheck: :codeorg
+  def self.script_names
+    DB[:scripts].select_map(:name)
+  end
+
+  type "(String) -> { id: Integer, name: String, hidden: %bool } or nil", typecheck: :codeorg
+  def self.script_row(script_name)
+    DB[:scripts][{ name: script_name }]
+  end
+
+  type "(String) -> Integer", typecheck: :codeorg
+  def self.register_script(script_name)
+    DB[:scripts].insert({ name: script_name, hidden: false })
+  end
+
+  type "(Integer) -> Integer", typecheck: :codeorg
+  def self.hide_script(sid)
+    DB[:scripts].where({ id: sid }).update({ hidden: true })
+  end
+
+  type "() -> String or nil", typecheck: :codeorg
+  def self.first_script_name
+    DB[:scripts].get(:name)
+  end
+end
+
+class Enrollment
+  type "(Integer, Integer) -> Integer", typecheck: :codeorg
+  def self.enroll(section_id, student_id)
+    DB[:followers].insert({ section_id: section_id, student_user_id: student_id })
+  end
+
+  type "(Integer, Integer) -> %bool", typecheck: :codeorg
+  def self.enrolled?(section_id, student_id)
+    DB[:followers].where({ section_id: section_id, student_user_id: student_id }).count > 0
+  end
+
+  type "(Integer) -> Integer", typecheck: :codeorg
+  def self.unenroll_all(section_id)
+    DB[:followers].where({ section_id: section_id }).delete
+  end
+end
+'''
+
+_TESTS = '''
+out = []
+out << User.username_free?("newkid")
+out << User.by_email("t@school.org")
+out << User.teacher_count
+out << User.student_count
+out << User.admin_emails.length
+out << User.total_lines_written
+teacher = User.by_email("t@school.org")
+out << teacher.teacher?
+out << teacher.student?
+out << teacher.short_name
+out << Section.by_code("ABCD")
+out << Section.names_for_teacher(1).length
+out << Section.count_for_teacher(1)
+out << Stats.user_count
+out << Stats.count_by_type("student")
+out << Stats.all_usernames.length
+out << Stats.max_lines
+out << Stats.min_lines
+out << Stats.lines_sum
+out << Stats.follower_count(1)
+out << Stats.student_ids(1).length
+out << Stats.visible_script_count
+out << Stats.script_names.length
+out << Stats.script_row("intro")
+out << Stats.register_script("new course")
+out << Stats.hide_script(1)
+out << Stats.first_script_name
+out << Enrollment.enroll(1, 2)
+out << Enrollment.enrolled?(1, 2)
+out << Enrollment.unenroll_all(1)
+out.length
+'''
+
+
+def _setup(db: Database) -> None:
+    db.create_table("users", username="string", email="string",
+                    user_type="string", admin="boolean",
+                    total_lines="integer")
+    db.create_table("sections", name="string", code="string",
+                    user_id="integer", hidden="boolean")
+    db.create_table("followers", section_id="integer",
+                    student_user_id="integer")
+    db.create_table("scripts", name="string", hidden="boolean")
+    db.declare_association("users", "sections")
+    db.insert("users", {"username": "Teacher One", "email": "t@school.org",
+                        "user_type": "teacher", "admin": False,
+                        "total_lines": 0})
+    db.insert("users", {"username": "Student A", "email": "a@school.org",
+                        "user_type": "student", "admin": False,
+                        "total_lines": 120})
+    db.insert("users", {"username": "Root", "email": "root@code.org",
+                        "user_type": "teacher", "admin": True,
+                        "total_lines": 10})
+    db.insert("sections", {"name": "Period 1", "code": "ABCD",
+                           "user_id": 1, "hidden": False})
+    db.insert("followers", {"section_id": 1, "student_user_id": 2})
+    db.insert("scripts", {"name": "intro", "hidden": False})
+    db.insert("scripts", {"name": "draft", "hidden": True})
+
+
+CODEORG = SubjectApp(
+    name="Code.org",
+    label="codeorg",
+    source=_SOURCE,
+    setup_db=_setup,
+    test_suite=_TESTS,
+    expected_errors=1,
+    paper={"methods": 49, "loc": 530, "casts": 3, "casts_rdl": 68, "errors": 1},
+)

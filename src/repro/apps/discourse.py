@@ -1,0 +1,292 @@
+"""Discourse benchmark: community-discussion Rails app (§5.2).
+
+Ports the checked model-method patterns: the §1/Fig. 1 ``available?``
+query, the Fig. 3 raw-SQL topic query (fixed form — the injected bug is a
+separate example), webhook-payload JSON handling (casts), and a spread of
+ActiveRecord query methods over users / emails / posts / topics / groups.
+"""
+
+from repro.apps.base import SubjectApp
+from repro.db.schema import Database
+
+_SOURCE = '''
+RESERVED_USERNAMES = ["admin", "moderator", "system"]
+
+class User < ActiveRecord::Base
+  has_many :emails
+  has_many :posts
+  has_many :topics
+
+  type "(String) -> %bool", typecheck: :discourse
+  def self.reserved?(name)
+    RESERVED_USERNAMES.include?(name)
+  end
+
+  type "( String, String ) -> %bool", typecheck: :discourse
+  def self.available?(name, email)
+    return false if reserved?(name)
+    return true if !User.exists?({ username: name })
+    return User.joins( :emails ).exists?({ staged: true, username: name, emails: { email: email } })
+  end
+
+  type "(String) -> User or nil", typecheck: :discourse
+  def self.find_by_username(name)
+    User.find_by({ username: name })
+  end
+
+  type "() -> Integer", typecheck: :discourse
+  def self.staff_count
+    User.where({ admin: true }).count
+  end
+
+  type "() -> Array<String>", typecheck: :discourse
+  def self.staged_usernames
+    User.where({ staged: true }).pluck(:username)
+  end
+
+  type "(Integer) -> %bool", typecheck: :discourse
+  def self.trusted?(level)
+    User.exists?({ trust_level: level, active: true })
+  end
+
+  type "() -> Array<Integer>", typecheck: :discourse
+  def self.active_ids
+    User.where({ active: true }).ids
+  end
+
+  type "() -> Integer", typecheck: :discourse
+  def self.total_trust
+    User.where({ active: true }).sum(:trust_level)
+  end
+
+  type "() -> %bool", typecheck: :discourse
+  def staff?
+    admin
+  end
+
+  type "() -> String", typecheck: :discourse
+  def display_name
+    username.capitalize
+  end
+
+  type "() -> %bool", typecheck: :discourse
+  def fresh?
+    trust_level < 2
+  end
+
+  type "(String) -> %any", typecheck: :discourse
+  def self.sync_from_webhook(payload)
+    data = RDL.type_cast(JSON.parse(payload), "{ username: String, staged: %bool, admin: %bool, trust_level: Integer, active: %bool }")
+    User.create({ username: data[:username], staged: data[:staged], admin: data[:admin], trust_level: data[:trust_level], active: data[:active] })
+  end
+
+  type "(String) -> Integer", typecheck: :discourse
+  def self.webhook_trust(payload)
+    data = RDL.type_cast(JSON.parse(payload), "{ username: String, trust_level: Integer }")
+    data[:trust_level]
+  end
+end
+
+class Email < ActiveRecord::Base
+  type "(String) -> %bool", typecheck: :discourse
+  def self.taken?(address)
+    Email.exists?({ email: address })
+  end
+
+  type "(Integer) -> Array<String>", typecheck: :discourse
+  def self.addresses_for(uid)
+    Email.where({ user_id: uid }).pluck(:email)
+  end
+
+  type "() -> String", typecheck: :discourse
+  def domain
+    email.split("@").last
+  end
+end
+
+class Topic < ActiveRecord::Base
+  has_many :topic_allowed_groups
+  has_many :posts
+
+  type "() -> Array<String>", typecheck: :discourse
+  def self.closed_titles
+    Topic.where({ closed: true }).pluck(:title)
+  end
+
+  type "(Integer) -> %bool", typecheck: :discourse
+  def self.popular?(threshold)
+    Topic.exists?({ closed: false }) && Topic.where({ closed: false }).maximum(:views) >= threshold
+  end
+
+  type "(Integer) -> Table", typecheck: :discourse
+  def self.allowed_for_group(gid)
+    Topic.where('topics.id IN (SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?)', gid)
+  end
+
+  type "(Integer) -> Integer", typecheck: :discourse
+  def self.allowed_count(gid)
+    allowed_for_group(gid).count
+  end
+
+  type "() -> Topic or nil", typecheck: :discourse
+  def self.most_viewed
+    Topic.order({ views: :desc }).first
+  end
+
+  type "() -> String", typecheck: :discourse
+  def excerpt
+    if title.length > 15
+      title[0, 15] + "..."
+    else
+      title
+    end
+  end
+
+  type "() -> %bool", typecheck: :discourse
+  def hot?
+    views > 100 && !closed
+  end
+end
+
+class Post < ActiveRecord::Base
+  type "(Integer) -> Table", typecheck: :discourse
+  def self.in_allowed_topics(gid)
+    Post.includes(:topics).where('topics.title IN (SELECT title FROM topics WHERE id IN (SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?))', gid)
+  end
+
+  type "(Integer) -> Integer", typecheck: :discourse
+  def self.liked_count(minimum)
+    Post.where('like_count >= ?', minimum).count
+  end
+
+  type "(Integer) -> Array<String>", typecheck: :discourse
+  def self.raws_for_topic(tid)
+    Post.where({ topic_id: tid, deleted: false }).pluck(:raw)
+  end
+
+  type "() -> Post or nil", typecheck: :discourse
+  def self.most_liked
+    Post.order({ like_count: :desc }).first
+  end
+
+  type "() -> Integer", typecheck: :discourse
+  def self.visible_count
+    Post.where({ deleted: false }).count
+  end
+
+  type "() -> String", typecheck: :discourse
+  def cooked
+    raw.strip.gsub("\\n", "<br>")
+  end
+
+  type "() -> %bool", typecheck: :discourse
+  def popular?
+    like_count > 10
+  end
+
+  type "(String) -> %bool", typecheck: :discourse
+  def mentions?(handle)
+    raw.include?("@" + handle)
+  end
+end
+
+class Group < ActiveRecord::Base
+  type "(String) -> Group or nil", typecheck: :discourse
+  def self.lookup(group_name)
+    Group.find_by({ name: group_name })
+  end
+
+  type "() -> Array<String>", typecheck: :discourse
+  def self.visible_names
+    Group.where({ visible: true }).pluck(:name)
+  end
+
+  type "(String) -> %bool", typecheck: :discourse
+  def self.exists_with_name?(group_name)
+    Group.exists?({ name: group_name })
+  end
+end
+'''
+
+_TESTS = '''
+out = []
+out << User.available?("zoe", "zoe@example.com")
+out << User.available?("admin", "root@example.com")
+out << User.find_by_username("eve")
+out << User.staff_count
+out << User.staged_usernames.length
+out << User.trusted?(3)
+out << User.active_ids.length
+out << User.total_trust
+out << User.sync_from_webhook('{"username": "hook", "staged": false, "admin": false, "trust_level": 1, "active": true}')
+out << User.webhook_trust('{"username": "hook", "trust_level": 4}')
+eve = User.find_by_username("eve")
+out << eve.staff?
+out << eve.display_name
+out << eve.fresh?
+out << Email.taken?("eve@example.com")
+out << Email.addresses_for(1).length
+out << Topic.closed_titles.length
+out << Topic.popular?(10)
+out << Topic.allowed_for_group(1).count
+out << Topic.allowed_count(1)
+out << Topic.most_viewed.title
+out << Post.in_allowed_topics(1).count
+out << Post.liked_count(2)
+out << Post.raws_for_topic(1).length
+out << Post.most_liked.raw
+out << Post.visible_count
+out << Group.lookup("staff")
+out << Group.visible_names.length
+out << Group.exists_with_name?("staff")
+out.length
+'''
+
+
+def _setup(db: Database) -> None:
+    db.create_table("users", username="string", staged="boolean",
+                    admin="boolean", trust_level="integer", active="boolean")
+    db.create_table("emails", email="string", user_id="integer")
+    db.create_table("topics", title="string", user_id="integer",
+                    views="integer", closed="boolean")
+    db.create_table("posts", raw="string", topic_id="integer",
+                    user_id="integer", like_count="integer", deleted="boolean")
+    db.create_table("topic_allowed_groups", group_id="integer",
+                    topic_id="integer")
+    db.create_table("groups", name="string", visible="boolean")
+    db.declare_association("users", "emails")
+    db.declare_association("users", "posts")
+    db.declare_association("users", "topics")
+    db.declare_association("topics", "topic_allowed_groups")
+    db.declare_association("topics", "posts")
+    db.declare_association("posts", "topics")
+
+    db.insert("users", {"username": "eve", "staged": False, "admin": False,
+                        "trust_level": 1, "active": True})
+    db.insert("users", {"username": "mod", "staged": False, "admin": True,
+                        "trust_level": 4, "active": True})
+    db.insert("users", {"username": "ghost", "staged": True, "admin": False,
+                        "trust_level": 0, "active": False})
+    db.insert("emails", {"email": "eve@example.com", "user_id": 1})
+    db.insert("emails", {"email": "ghost@example.com", "user_id": 3})
+    db.insert("topics", {"title": "Welcome to the forum", "user_id": 1,
+                         "views": 250, "closed": False})
+    db.insert("topics", {"title": "Old announcements", "user_id": 2,
+                         "views": 40, "closed": True})
+    db.insert("posts", {"raw": "hello @eve", "topic_id": 1, "user_id": 1,
+                        "like_count": 12, "deleted": False})
+    db.insert("posts", {"raw": "archived", "topic_id": 2, "user_id": 2,
+                        "like_count": 1, "deleted": True})
+    db.insert("topic_allowed_groups", {"group_id": 1, "topic_id": 1})
+    db.insert("groups", {"name": "staff", "visible": True})
+
+
+DISCOURSE = SubjectApp(
+    name="Discourse",
+    label="discourse",
+    source=_SOURCE,
+    setup_db=_setup,
+    test_suite=_TESTS,
+    expected_errors=0,
+    paper={"methods": 36, "loc": 261, "casts": 13, "casts_rdl": 22, "errors": 0},
+)

@@ -1,0 +1,94 @@
+"""Huginn benchmark: web-monitoring agents Rails app (7 methods, §5.2).
+
+Agents monitor the web and emit events whose payloads are JSON — the
+checked methods mix ActiveRecord queries with payload-hash handling
+(Table 2: Casts = 3).
+"""
+
+from repro.apps.base import SubjectApp
+from repro.db.schema import Database
+
+_SOURCE = '''
+class Agent < ActiveRecord::Base
+  has_many :events
+
+  type "() -> Array<String>", typecheck: :huginn
+  def self.working_names
+    Agent.where({ disabled: false }).pluck(:name)
+  end
+
+  type "(String) -> %bool", typecheck: :huginn
+  def self.scheduled?(cron)
+    Agent.exists?({ schedule: cron, disabled: false })
+  end
+
+  type "() -> Integer", typecheck: :huginn
+  def self.total_event_count
+    Agent.where({ disabled: false }).sum(:events_count)
+  end
+
+  type "() -> %bool", typecheck: :huginn
+  def working?
+    !disabled && events_count > 0
+  end
+
+  type "(String) -> Event", typecheck: :huginn
+  def self.receive_web_request(payload)
+    data = RDL.type_cast(JSON.parse(payload), "{ agent_id: Integer, body: String, status: Integer }")
+    Event.create({ agent_id: data[:agent_id], payload: data[:body], status: data[:status] })
+  end
+end
+
+class Event < ActiveRecord::Base
+  type "(Integer) -> Array<String>", typecheck: :huginn
+  def self.payloads_for(aid)
+    Event.where({ agent_id: aid }).pluck(:payload)
+  end
+
+  type "(String) -> String", typecheck: :huginn
+  def self.extract_message(raw)
+    parsed = RDL.type_cast(JSON.parse(raw), "{ message: String, level: String }")
+    level = parsed[:level]
+    message = RDL.type_cast(parsed[:message], "String")
+    level.upcase + ": " + message
+  end
+end
+'''
+
+_TESTS = '''
+out = []
+out << Agent.working_names.length
+out << Agent.scheduled?("0 * * * *")
+out << Agent.total_event_count
+agent = Agent.find(1)
+out << agent.working?
+out << Agent.receive_web_request('{"agent_id": 1, "body": "ping", "status": 200}')
+out << Event.payloads_for(1).length
+out << Event.extract_message('{"message": "site is up", "level": "info"}')
+out.length
+'''
+
+
+def _setup(db: Database) -> None:
+    db.create_table("agents", name="string", schedule="string",
+                    disabled="boolean", user_id="integer",
+                    events_count="integer")
+    db.create_table("events", agent_id="integer", payload="string",
+                    status="integer")
+    db.declare_association("agents", "events")
+    db.insert("agents", {"name": "weather watcher", "schedule": "0 * * * *",
+                         "disabled": False, "user_id": 1, "events_count": 4})
+    db.insert("agents", {"name": "rss poller", "schedule": "*/5 * * * *",
+                         "disabled": True, "user_id": 1, "events_count": 0})
+    db.insert("events", {"agent_id": 1, "payload": "sunny", "status": 200})
+
+
+HUGINN = SubjectApp(
+    name="Huginn",
+    label="huginn",
+    source=_SOURCE,
+    setup_db=_setup,
+    test_suite=_TESTS,
+    expected_errors=0,
+    paper={"methods": 7, "loc": 54, "casts": 3, "casts_rdl": 6, "errors": 0},
+)

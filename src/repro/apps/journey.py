@@ -1,0 +1,200 @@
+"""Journey benchmark: survey web application (§5.2).
+
+Mixes ActiveRecord and Sequel, like the real app.  Contains the paper's
+two Journey bugs (§5.3, Errors = 2):
+
+1. a method referencing the undefined constant ``Field`` (a namespace
+   change had moved it to ``Question::Field``);
+2. a hash argument ``{ :action => prompt, ... }`` where ``prompt`` was
+   meant to be a string/symbol but is actually a *method call* returning
+   an array.
+"""
+
+from repro.apps.base import SubjectApp
+from repro.db.schema import Database
+
+_SOURCE = '''
+class Question < ActiveRecord::Base
+  FIELD_KINDS = ["text", "choice", "scale"]
+
+  type "(Integer) -> Array<String>", typecheck: :journey
+  def self.fields_for_survey(sid)
+    Question.where({ survey_id: sid }).pluck(:field)
+  end
+
+  type "(Integer) -> Integer", typecheck: :journey
+  def self.required_count(sid)
+    Question.where({ survey_id: sid, required: true }).count
+  end
+
+  # BUG 1 (found by CompRDL, §5.3): Field moved to Question::Field during a
+  # namespace change; this method still references the old constant
+  type "() -> Integer", typecheck: :journey
+  def self.legacy_field_count
+    Field.all.count
+  end
+
+  type "() -> Array<String>", typecheck: :journey
+  def self.prompt
+    Question.order({ position: :asc }).pluck(:field)
+  end
+
+  # BUG 2 (found by CompRDL, §5.3): prompt here is a *call* to the method
+  # above (an Array), not the intended string — missing quotes/colon
+  type "() -> Hash<Symbol, Object>", typecheck: :journey
+  def self.edit_link
+    link_to({ :action => prompt, :controller => "questions" })
+  end
+
+  type "({ action: String or Symbol, controller: String }) -> Hash<Symbol, Object>"
+  def self.link_to(options)
+    { href: "/app", options: options }
+  end
+
+  type "() -> %bool", typecheck: :journey
+  def required_field?
+    required
+  end
+
+  type "() -> String", typecheck: :journey
+  def label
+    field.capitalize
+  end
+end
+
+class Survey < ActiveRecord::Base
+  has_many :questions
+  has_many :responses
+  has_many :pages
+
+  type "(String) -> Survey or nil", typecheck: :journey
+  def self.by_title(survey_title)
+    Survey.find_by({ title: survey_title })
+  end
+
+  type "() -> Array<String>", typecheck: :journey
+  def self.published_titles
+    Survey.where({ published: true }).pluck(:title)
+  end
+
+  type "() -> Integer", typecheck: :journey
+  def self.draft_count
+    Survey.where({ published: false }).count
+  end
+
+  type "(Integer) -> %bool", typecheck: :journey
+  def self.has_pages?(sid)
+    Survey.joins(:pages).exists?({ id: sid })
+  end
+
+  type "() -> String", typecheck: :journey
+  def display_title
+    title.strip
+  end
+end
+
+class Response < ActiveRecord::Base
+  type "(Integer) -> Integer", typecheck: :journey
+  def self.completed_count(sid)
+    Response.where({ survey_id: sid, completed: true }).count
+  end
+
+  type "(Integer) -> %bool", typecheck: :journey
+  def self.any_for_survey?(sid)
+    Response.exists?({ survey_id: sid })
+  end
+end
+
+class Reporting
+  # Sequel dataset reporting queries
+  type "(Integer) -> Array<String>", typecheck: :journey
+  def self.answer_values(rid)
+    DB[:answers].where({ response_id: rid }).select_map(:value)
+  end
+
+  type "(Integer) -> Integer", typecheck: :journey
+  def self.answer_count(qid)
+    DB[:answers].where({ question_id: qid }).count
+  end
+
+  type "() -> Integer", typecheck: :journey
+  def self.total_answers
+    DB[:answers].count
+  end
+
+  type "(Integer, Integer, String) -> Integer", typecheck: :journey
+  def self.record_answer(rid, qid, text)
+    DB[:answers].insert({ response_id: rid, question_id: qid, value: text })
+  end
+
+  type "(Integer) -> { id: Integer, response_id: Integer, question_id: Integer, value: String } or nil", typecheck: :journey
+  def self.first_answer_for(qid)
+    DB[:answers][{ question_id: qid }]
+  end
+
+  type "() -> Array<Integer>", typecheck: :journey
+  def self.page_positions
+    DB[:pages].select_map(:position)
+  end
+end
+'''
+
+_TESTS = '''
+out = []
+out << Question.fields_for_survey(1).length
+out << Question.required_count(1)
+out << Question.prompt.length
+q = Question.find(1)
+out << q.required_field?
+out << q.label
+out << Survey.by_title("Customer Satisfaction").id
+out << Survey.published_titles.length
+out << Survey.draft_count
+out << Survey.has_pages?(1)
+out << Response.completed_count(1)
+out << Response.any_for_survey?(1)
+out << Reporting.answer_values(1).length
+out << Reporting.answer_count(1)
+out << Reporting.total_answers
+out << Reporting.record_answer(1, 1, "yes")
+out << Reporting.first_answer_for(1)
+out << Reporting.page_positions.length
+out.length
+'''
+
+
+def _setup(db: Database) -> None:
+    db.create_table("surveys", title="string", user_id="integer",
+                    published="boolean")
+    db.create_table("questions", survey_id="integer", field="string",
+                    position="integer", required="boolean")
+    db.create_table("pages", survey_id="integer", position="integer")
+    db.create_table("responses", survey_id="integer", completed="boolean")
+    db.create_table("answers", response_id="integer", question_id="integer",
+                    value="string")
+    db.declare_association("surveys", "questions")
+    db.declare_association("surveys", "responses")
+    db.declare_association("surveys", "pages")
+    db.declare_association("responses", "answers")
+    db.insert("surveys", {"title": "Customer Satisfaction", "user_id": 1,
+                          "published": True})
+    db.insert("surveys", {"title": "Draft Poll", "user_id": 1,
+                          "published": False})
+    db.insert("questions", {"survey_id": 1, "field": "overall", "position": 1,
+                            "required": True})
+    db.insert("questions", {"survey_id": 1, "field": "comments", "position": 2,
+                            "required": False})
+    db.insert("pages", {"survey_id": 1, "position": 1})
+    db.insert("responses", {"survey_id": 1, "completed": True})
+    db.insert("answers", {"response_id": 1, "question_id": 1, "value": "good"})
+
+
+JOURNEY = SubjectApp(
+    name="Journey",
+    label="journey",
+    source=_SOURCE,
+    setup_db=_setup,
+    test_suite=_TESTS,
+    expected_errors=2,
+    paper={"methods": 21, "loc": 419, "casts": 14, "casts_rdl": 59, "errors": 2},
+)

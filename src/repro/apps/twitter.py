@@ -1,0 +1,54 @@
+"""Twitter gem benchmark: stream API bindings (3 methods, §5.2).
+
+The paper annotated the stream-API methods that use comp-typed libraries.
+Tweets arrive as JSON; each method needs a cast on the ``JSON.parse``
+result (Table 2: Casts = 3).
+"""
+
+from repro.apps.base import SubjectApp
+
+_SOURCE = '''
+TWEET_JSON = '{"id": 1812, "text": "CompRDL types Ruby DB queries #pldi",' +
+  ' "user": {"screen_name": "plresearcher", "followers_count": 1024},' +
+  ' "entities": {"hashtags": ["pldi", "ruby"], "urls": []},' +
+  ' "favorite_count": 99, "retweeted": false}'
+
+class TwitterStream
+  type "(String) -> String", typecheck: :twitter
+  def tweet_text(raw)
+    tweet = RDL.type_cast(JSON.parse(raw), "{ id: Integer, text: String, user: { screen_name: String, followers_count: Integer }, entities: { hashtags: Array<String>, urls: Array<String> }, favorite_count: Integer, retweeted: %bool }")
+    tweet[:text]
+  end
+
+  type "(String) -> String", typecheck: :twitter
+  def author_handle(raw)
+    tweet = RDL.type_cast(JSON.parse(raw), "{ id: Integer, text: String, user: { screen_name: String, followers_count: Integer }, entities: { hashtags: Array<String>, urls: Array<String> }, favorite_count: Integer, retweeted: %bool }")
+    user = tweet[:user]
+    "@" + user[:screen_name]
+  end
+
+  type "(String) -> Array<String>", typecheck: :twitter
+  def hashtags(raw)
+    tweet = RDL.type_cast(JSON.parse(raw), "{ id: Integer, text: String, user: { screen_name: String, followers_count: Integer }, entities: { hashtags: Array<String>, urls: Array<String> }, favorite_count: Integer, retweeted: %bool }")
+    tweet[:entities][:hashtags].map { |tag| "#" + tag }
+  end
+end
+'''
+
+_TESTS = '''
+stream = TwitterStream.new
+out = []
+out << stream.tweet_text(TWEET_JSON)
+out << stream.author_handle(TWEET_JSON)
+out << stream.hashtags(TWEET_JSON).join(" ")
+out.length
+'''
+
+TWITTER = SubjectApp(
+    name="Twitter",
+    label="twitter",
+    source=_SOURCE,
+    test_suite=_TESTS,
+    expected_errors=0,
+    paper={"methods": 3, "loc": 29, "casts": 3, "casts_rdl": 8, "errors": 0},
+)

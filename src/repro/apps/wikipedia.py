@@ -1,0 +1,146 @@
+"""Wikipedia client benchmark: the Page API (16 methods, §5.2).
+
+A Ruby wrapper for the Wikipedia API.  Pages arrive as JSON; the paper
+changed string hash keys to symbols (as we do) and annotated the entire
+Page API.  One ``type_cast`` remains — on the result of ``JSON.parse``
+(Table 2: Casts = 1); the Fig. 2 ``image_url`` pattern needs no cast thanks
+to the finite-hash comp types.
+"""
+
+from repro.apps.base import SubjectApp
+
+_SOURCE = '''
+PAGE_JSON = '{"title": "Ruby (programming language)", "pageid": 25768,' +
+  ' "summary": "Ruby is a dynamic language.",' +
+  ' "info": ["https://img.example/ruby-logo.png", "https://img.example/ruby-shot.png"],' +
+  ' "categories": ["Programming languages", "Dynamic typing"],' +
+  ' "links": ["Smalltalk", "Perl", "Python"],' +
+  ' "langlinks": ["de", "fr", "ja"],' +
+  ' "images": ["ruby-logo.png"],' +
+  ' "coordinates": [35, 139]}'
+
+class Page
+  var_type :@data, "{ title: String, pageid: Integer, summary: String, info: Array<String>, categories: Array<String>, links: Array<String>, langlinks: Array<String>, images: Array<String>, coordinates: [Integer, Integer] }"
+
+  type "(String) -> %any", typecheck: :wikipedia
+  def initialize(raw)
+    @data = RDL.type_cast(JSON.parse(raw), "{ title: String, pageid: Integer, summary: String, info: Array<String>, categories: Array<String>, links: Array<String>, langlinks: Array<String>, images: Array<String>, coordinates: [Integer, Integer] }")
+  end
+
+  type "() -> String", typecheck: :wikipedia
+  def title
+    @data[:title]
+  end
+
+  type "() -> Integer", typecheck: :wikipedia
+  def pageid
+    @data[:pageid]
+  end
+
+  type "() -> String", typecheck: :wikipedia
+  def summary
+    @data[:summary]
+  end
+
+  type "() -> String", typecheck: :wikipedia
+  def image_url
+    @data[:info].first
+  end
+
+  type "() -> Array<String>", typecheck: :wikipedia
+  def image_urls
+    @data[:info]
+  end
+
+  type "() -> Array<String>", typecheck: :wikipedia
+  def categories
+    @data[:categories]
+  end
+
+  type "() -> Integer", typecheck: :wikipedia
+  def category_count
+    @data[:categories].length
+  end
+
+  type "(String) -> %bool", typecheck: :wikipedia
+  def has_category?(name)
+    @data[:categories].include?(name)
+  end
+
+  type "() -> String or nil", typecheck: :wikipedia
+  def first_link
+    @data[:links].first
+  end
+
+  type "() -> Array<String>", typecheck: :wikipedia
+  def sorted_links
+    @data[:links].sort
+  end
+
+  type "() -> Array<String>", typecheck: :wikipedia
+  def languages
+    @data[:langlinks]
+  end
+
+  type "() -> String", typecheck: :wikipedia
+  def slug
+    title.downcase.gsub(" ", "-")
+  end
+
+  type "() -> String", typecheck: :wikipedia
+  def short_summary
+    text = summary
+    if text.length > 20
+      text[0, 20] + "..."
+    else
+      text
+    end
+  end
+
+  type "() -> Integer", typecheck: :wikipedia
+  def latitude
+    @data[:coordinates].first
+  end
+
+  type "() -> Integer", typecheck: :wikipedia
+  def longitude
+    @data[:coordinates].last
+  end
+
+  type "(String) -> %bool", typecheck: :wikipedia
+  def mentions?(term)
+    summary.include?(term) || @data[:links].include?(term)
+  end
+end
+'''
+
+_TESTS = '''
+page = Page.new(PAGE_JSON)
+results = []
+results << page.title
+results << page.pageid
+results << page.summary
+results << page.image_url
+results << page.image_urls.length
+results << page.categories.first
+results << page.category_count
+results << page.has_category?("Dynamic typing")
+results << page.first_link
+results << page.sorted_links.first
+results << page.languages.last
+results << page.slug
+results << page.short_summary
+results << page.latitude
+results << page.longitude
+results << page.mentions?("dynamic")
+results.length
+'''
+
+WIKIPEDIA = SubjectApp(
+    name="Wikipedia",
+    label="wikipedia",
+    source=_SOURCE,
+    test_suite=_TESTS,
+    expected_errors=0,
+    paper={"methods": 16, "loc": 47, "casts": 1, "casts_rdl": 13, "errors": 0},
+)

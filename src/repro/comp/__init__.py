@@ -1,0 +1,22 @@
+"""The comp type engine: evaluation, reflection, termination, dynamic checks.
+
+Comp types are type-level computations written in the object language
+(mini-Ruby) and evaluated during type checking (§2.1).  This package
+provides:
+
+* :mod:`repro.comp.reflect` — RDL types reflected as first-class runtime
+  objects (``tself.is_a?(Singleton)``, ``t.val``, ``Generic.new(Table, …)``);
+* :mod:`repro.comp.engine` — evaluation of ``«...»`` expressions with the
+  receiver/argument types in scope;
+* :mod:`repro.comp.termination` — the §4 termination and purity checker;
+* :mod:`repro.comp.effects` — default termination/purity effects for the
+  core library;
+* :mod:`repro.comp.checks` — the dynamic checks inserted at comp-typed
+  call sites (return-type contracts and mutable-state consistency).
+"""
+
+from repro.comp.checks import CheckSpec
+from repro.comp.engine import CompEngine
+from repro.comp.termination import TerminationChecker
+
+__all__ = ["CheckSpec", "CompEngine", "TerminationChecker"]

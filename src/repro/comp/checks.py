@@ -1,0 +1,81 @@
+"""Dynamic checks inserted at comp-typed call sites (§2.4, §3.2, §4).
+
+When the checker types a call via a comp signature it attaches a
+:class:`CheckSpec` to the call node.  At run time (with checks enabled) the
+interpreter consults the spec:
+
+* **before the call** — every comp expression in the signature is
+  *re-evaluated* on the same input types recorded at type-checking time; a
+  different result means mutable state the comp type depends on changed
+  (e.g. the DB schema), and an exception is raised (§4 "Heap Mutation");
+  computed argument types are also checked against the actual argument
+  values (contract-style);
+* **after the call** — the returned value is checked against the computed
+  return type: λC's checked call ⌈A⌉e.m(e), reducing to blame on failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtypes import CompExpr, RType
+from repro.runtime.errors import Blame
+from repro.runtime.membership import value_has_type
+
+
+@dataclass
+class CheckSpec:
+    """Runtime contract for one comp-typed call site."""
+
+    method_desc: str
+    ret_type: RType
+    arg_types: list[RType] = field(default_factory=list)
+    # (comp expression, bindings, expected result) triples for consistency
+    comp_results: list[tuple[CompExpr, dict, RType]] = field(default_factory=list)
+    engine: object = None
+    line: int = 0
+    check_args: bool = True
+    # db.version at the last successful consistency re-validation; the
+    # inputs (bindings) are fixed per call site, so the comp results can
+    # only change when the mutable state they consult changes (§4)
+    _validated_version: int | None = field(default=None, repr=False)
+
+    def before_call(self, interp, receiver, args, line) -> None:
+        version = getattr(interp.db, "version", 0) if interp.db else 0
+        if self._validated_version == version:
+            self._check_arg_values(interp, args, line)
+            return
+        for comp, bindings, expected in self.comp_results:
+            try:
+                recomputed = self.engine.evaluate_for_check(
+                    comp, bindings, line, self.method_desc)
+            except Exception as exc:
+                raise Blame(
+                    f"comp type for {self.method_desc} failed to re-evaluate "
+                    f"at call time: {exc}", line,
+                )
+            if recomputed != expected:
+                raise Blame(
+                    f"comp type for {self.method_desc} changed between type "
+                    f"checking ({expected.to_s()}) and call time "
+                    f"({recomputed.to_s()}) — mutable state the type depends "
+                    f"on was modified", line,
+                )
+        self._validated_version = version
+        self._check_arg_values(interp, args, line)
+
+    def _check_arg_values(self, interp, args, line) -> None:
+        if self.check_args:
+            for value, expected in zip(args, self.arg_types):
+                if not value_has_type(interp, value, expected):
+                    raise Blame(
+                        f"argument to {self.method_desc} is not a "
+                        f"{expected.to_s()}", line,
+                    )
+
+    def after_call(self, interp, receiver, args, result, line) -> None:
+        if not value_has_type(interp, result, self.ret_type):
+            raise Blame(
+                f"{self.method_desc} returned a value outside its computed "
+                f"type {self.ret_type.to_s()}", line,
+            )

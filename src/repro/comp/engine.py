@@ -1,0 +1,99 @@
+"""Evaluation of comp type expressions during type checking.
+
+Implements the dynamic part of rule C-App-Comp (§3.2): a comp expression is
+(1) termination-checked, (2) evaluated in the interpreter with ``tself`` and
+the signature's argument type variables bound to *types*, and (3) required
+to yield a type (``Type``-typed in λC; enforced here by checking the result
+is an RDL type object).  Results convert class constants to nominal types so
+comp code may simply write ``String`` for ``Nominal.new(String)``.
+"""
+
+from __future__ import annotations
+
+from repro.lang.parser import parse_program
+from repro.rtypes import CompExpr, RType
+from repro.runtime.errors import RubyError
+from repro.runtime.interp import Env, Frame, RaiseSignal
+from repro.typecheck.errors import StaticTypeError
+from repro.comp.reflect import to_rtype
+from repro.comp.termination import TerminationChecker
+
+
+class CompEngine:
+    """Evaluates ``«...»`` expressions against an interpreter instance."""
+
+    def __init__(self, interp, registry):
+        self.interp = interp
+        self.registry = registry
+        self.termination = TerminationChecker(interp, registry)
+        self._ast_cache: dict[str, object] = {}
+        self._recheck_cache: dict[tuple, RType] = {}
+
+    def evaluate(
+        self,
+        comp: CompExpr,
+        bindings: dict[str, RType],
+        line: int = 0,
+        context: str = "",
+    ) -> RType:
+        """Evaluate a comp expression to a concrete RDL type.
+
+        ``bindings`` maps comp-visible variables (``tself`` plus the
+        signature's argument type variables) to the types observed at the
+        call site.  Raises :class:`StaticTypeError` if the code fails the
+        termination check, raises, or does not produce a type.
+        """
+        program = self._ast_cache.get(comp.code)
+        if program is None:
+            try:
+                program = parse_program(comp.code)
+            except Exception as exc:
+                raise StaticTypeError(
+                    f"comp type does not parse: {exc}", line, context
+                )
+            self.termination.check_comp_code(program, comp.code)
+            self._ast_cache[comp.code] = program
+
+        env = Env()
+        env.vars.update(bindings)
+        frame = Frame(self.interp.main, env,
+                      defining_class=self.interp.classes["Object"])
+        try:
+            result = self.interp.eval_body(program.body, frame)
+        except RaiseSignal as sig:
+            raise StaticTypeError(
+                f"comp type evaluation raised {sig.exc.rclass.name}: "
+                f"{sig.exc.message}", line, context
+            )
+        except RubyError as exc:
+            raise StaticTypeError(
+                f"comp type evaluation failed: {exc}", line, context
+            )
+        try:
+            return to_rtype(self.interp, result)
+        except RubyError:
+            raise StaticTypeError(
+                f"comp type did not evaluate to a type (got {result!r})",
+                line, context,
+            )
+
+    def evaluate_for_check(self, comp: CompExpr, bindings: dict[str, RType],
+                           line: int = 0, context: str = "") -> RType:
+        """Comp re-evaluation for runtime consistency checks (§4).
+
+        The mutable state our type-level helpers consult is the database
+        schema, so results are cached keyed on (code, bindings, db.version):
+        a schema mutation invalidates the cache and forces a genuine
+        re-evaluation, preserving the consistency-check semantics while
+        keeping steady-state overhead low.
+        """
+        version = getattr(self.interp.db, "version", 0) if self.interp.db else 0
+        key = (comp.code,
+               tuple(sorted((k, v.to_s()) for k, v in bindings.items())),
+               version)
+        cached = self._recheck_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.evaluate(comp, bindings, line, context)
+        self._recheck_cache[key] = result
+        return result

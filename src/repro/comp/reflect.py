@@ -1,0 +1,329 @@
+"""Type reflection: RDL types as first-class mini-Ruby objects.
+
+Comp type code manipulates types directly — the paper's Fig. 1b calls
+``t.is_a?(Singleton)``, ``t.val``, ``schema_type(tself).merge({...})`` and
+``Generic.new(Table, ...)``.  This module (a) registers marker classes
+(``Singleton``, ``Nominal``, ``Generic``, ``FiniteHash``, ``Tuple``,
+``Union``, ``ConstString``, ``Type``) whose ``new`` constructors build RDL
+types, and (b) installs a foreign-dispatch handler so method calls on RType
+values work inside the interpreter.
+"""
+
+from __future__ import annotations
+
+from repro.rtypes import (
+    AnyType,
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    NominalType,
+    RType,
+    SingletonType,
+    TupleType,
+    UnionType,
+    make_union,
+)
+from repro.rtypes.kinds import ClassRef, Sym
+from repro.runtime.errors import RubyError
+from repro.runtime.objects import RArray, RClass, RHash, RMethod, RString
+
+_MARKERS = {
+    "Singleton": SingletonType,
+    "Nominal": NominalType,
+    "Generic": GenericType,
+    "FiniteHash": FiniteHashType,
+    "Tuple": TupleType,
+    "Union": UnionType,
+    "ConstString": ConstStringType,
+}
+
+
+def to_rtype(interp, value: object) -> RType:
+    """Convert a runtime value used *as a type* into an RDL type."""
+    if isinstance(value, RType):
+        return value
+    if isinstance(value, RClass):
+        return NominalType(value.name)
+    if isinstance(value, RHash):
+        return FiniteHashType(
+            {_fh_key(k): to_rtype(interp, v) for k, v in value.pairs()}
+        )
+    if isinstance(value, RArray):
+        return TupleType([to_rtype(interp, v) for v in value.items])
+    if isinstance(value, RString):
+        return NominalType(value.val)
+    raise RubyError("TypeError", f"cannot interpret {value!r} as a type")
+
+
+def _fh_key(key: object):
+    if isinstance(key, Sym):
+        return key
+    if isinstance(key, RString):
+        return key.val
+    raise RubyError("TypeError", f"bad finite hash key {key!r}")
+
+
+def _to_runtime(interp, value: object):
+    """Convert a singleton type's underlying value back to a runtime value."""
+    if isinstance(value, ClassRef):
+        return interp.classes.get(value.name) or interp.define_class(value.name)
+    if isinstance(value, str):
+        return RString(value)
+    return value
+
+
+def install_type_reflection(interp) -> None:
+    """Register marker classes and the RType foreign-dispatch handler."""
+    type_class = interp.define_class("Type", "Object")
+
+    for marker_name, rtype_cls in _MARKERS.items():
+        marker = interp.define_class(marker_name, "Type")
+        marker.define(
+            "new",
+            RMethod("new", native=_constructor_for(marker_name)),
+            static=True,
+        )
+
+    interp.foreign_handlers.append(_dispatch_rtype)
+
+
+def _constructor_for(marker_name: str):
+    def construct(i, recv, args, block):
+        if marker_name == "Singleton":
+            value = args[0]
+            if isinstance(value, RClass):
+                return SingletonType(ClassRef(value.name))
+            if isinstance(value, RString):
+                return SingletonType(value.val)
+            return SingletonType(value)
+        if marker_name == "Nominal":
+            base = args[0]
+            if isinstance(base, RClass):
+                return NominalType(base.name)
+            if isinstance(base, RString):
+                return NominalType(base.val)
+            if isinstance(base, Sym):
+                return NominalType(base.name)
+            raise RubyError("TypeError", "Nominal.new expects a class or name")
+        if marker_name == "Generic":
+            base = args[0]
+            base_name = base.name if isinstance(base, RClass) else (
+                base.val if isinstance(base, RString) else str(base)
+            )
+            params = [to_rtype(i, p) for p in args[1:]]
+            return GenericType(base_name, params)
+        if marker_name == "FiniteHash":
+            return to_rtype(i, args[0]) if args else FiniteHashType({})
+        if marker_name == "Tuple":
+            if args and isinstance(args[0], RArray):
+                return TupleType([to_rtype(i, v) for v in args[0].items])
+            return TupleType([to_rtype(i, v) for v in args])
+        if marker_name == "Union":
+            return make_union([to_rtype(i, v) for v in args])
+        if marker_name == "ConstString":
+            value = args[0]
+            return ConstStringType(value.val if isinstance(value, RString) else str(value))
+        raise RubyError("TypeError", f"unknown type constructor {marker_name}")
+    return construct
+
+
+def _dispatch_rtype(interp, recv, name, args, block, line):
+    """Foreign dispatch for method calls whose receiver is an RType."""
+    if not isinstance(recv, RType):
+        return False, None
+    handler = _METHODS.get(name)
+    if handler is None:
+        raise RubyError(
+            "NoMethodError", f"undefined method '{name}' for type {recv.to_s()}", line
+        )
+    return True, handler(interp, recv, args, block)
+
+
+# ---------------------------------------------------------------------------
+# reflected methods on type objects
+# ---------------------------------------------------------------------------
+
+def _m_is_a(interp, recv, args, block):
+    target = args[0] if args else None
+    if isinstance(target, RClass):
+        if target.name == "Type":
+            return True
+        expected = _MARKERS.get(target.name)
+        return expected is not None and isinstance(recv, expected)
+    return False
+
+
+def _m_val(interp, recv, args, block):
+    if isinstance(recv, SingletonType):
+        return _to_runtime(interp, recv.value)
+    if isinstance(recv, ConstStringType):
+        return RString(recv.value)
+    raise RubyError("TypeError", f"val on non-singleton type {recv.to_s()}")
+
+
+def _m_elts(interp, recv, args, block):
+    if isinstance(recv, FiniteHashType):
+        return RHash.from_pairs(
+            (k if isinstance(k, Sym) else RString(str(k)), v)
+            for k, v in recv.elts.items()
+        )
+    if isinstance(recv, TupleType):
+        return RArray(list(recv.elts))
+    raise RubyError("TypeError", f"elts on {recv.to_s()}")
+
+
+def _m_params(interp, recv, args, block):
+    if isinstance(recv, GenericType):
+        return RArray(list(recv.params))
+    raise RubyError("TypeError", f"params on non-generic type {recv.to_s()}")
+
+
+def _m_param(interp, recv, args, block):
+    if isinstance(recv, GenericType):
+        index = args[0] if args else 0
+        return recv.params[index]
+    raise RubyError("TypeError", f"param on non-generic type {recv.to_s()}")
+
+
+def _m_base(interp, recv, args, block):
+    if isinstance(recv, GenericType):
+        return interp.classes.get(recv.base) or RString(recv.base)
+    if isinstance(recv, NominalType):
+        return interp.classes.get(recv.name) or RString(recv.name)
+    raise RubyError("TypeError", f"base on {recv.to_s()}")
+
+
+def _m_name(interp, recv, args, block):
+    if isinstance(recv, NominalType):
+        return RString(recv.name)
+    if isinstance(recv, GenericType):
+        return RString(recv.base)
+    return RString(recv.to_s())
+
+
+def _m_merge(interp, recv, args, block):
+    if not isinstance(recv, FiniteHashType):
+        raise RubyError("TypeError", f"merge on {recv.to_s()}")
+    other = args[0] if args else None
+    other_fh = to_rtype(interp, other)
+    if not isinstance(other_fh, FiniteHashType):
+        raise RubyError("TypeError", "merge expects a finite hash type")
+    return recv.merged(other_fh)
+
+
+def _m_types(interp, recv, args, block):
+    if isinstance(recv, UnionType):
+        return RArray(list(recv.types))
+    return RArray([recv])
+
+
+def _m_key_type(interp, recv, args, block):
+    if isinstance(recv, FiniteHashType):
+        return recv.key_type()
+    if isinstance(recv, GenericType) and recv.base == "Hash":
+        return recv.params[0]
+    return NominalType("Object")
+
+
+def _m_value_type(interp, recv, args, block):
+    if isinstance(recv, FiniteHashType):
+        return recv.value_type()
+    if isinstance(recv, GenericType) and recv.base == "Hash":
+        return recv.params[1]
+    if isinstance(recv, TupleType):
+        return make_union(recv.elts) if recv.elts else NominalType("Object")
+    if isinstance(recv, GenericType) and recv.base == "Array":
+        return recv.params[0]
+    return NominalType("Object")
+
+
+def _m_keys(interp, recv, args, block):
+    if isinstance(recv, FiniteHashType):
+        return RArray([
+            k if isinstance(k, Sym) else RString(str(k)) for k in recv.elts
+        ])
+    raise RubyError("TypeError", f"keys on {recv.to_s()}")
+
+
+def _m_index(interp, recv, args, block):
+    """``t[key]`` — entry type of a finite hash / tuple type."""
+    key = args[0] if args else None
+    if isinstance(recv, FiniteHashType):
+        if isinstance(key, Sym):
+            return recv.elts.get(key)
+        if isinstance(key, RString):
+            return recv.elts.get(key.val)
+        return None
+    if isinstance(recv, TupleType) and isinstance(key, int):
+        if -len(recv.elts) <= key < len(recv.elts):
+            return recv.elts[key]
+        return None
+    raise RubyError("TypeError", f"[] on {recv.to_s()}")
+
+
+def _m_has_key(interp, recv, args, block):
+    if isinstance(recv, FiniteHashType):
+        key = args[0] if args else None
+        if isinstance(key, Sym):
+            return key in recv.elts
+        if isinstance(key, RString):
+            return key.val in recv.elts
+        return False
+    return False
+
+
+def _m_size(interp, recv, args, block):
+    if isinstance(recv, TupleType):
+        return len(recv.elts)
+    if isinstance(recv, FiniteHashType):
+        return len(recv.elts)
+    raise RubyError("TypeError", f"size on {recv.to_s()}")
+
+
+def _m_eq(interp, recv, args, block):
+    other = args[0] if args else None
+    if isinstance(other, RClass):
+        other = NominalType(other.name)
+    return isinstance(other, RType) and recv == other
+
+
+def _m_canonical(interp, recv, args, block):
+    return recv
+
+
+_METHODS = {
+    "is_a?": _m_is_a,
+    "kind_of?": _m_is_a,
+    "val": _m_val,
+    "elts": _m_elts,
+    "params": _m_params,
+    "param": _m_param,
+    "base": _m_base,
+    "name": _m_name,
+    "merge": _m_merge,
+    "types": _m_types,
+    "key_type": _m_key_type,
+    "value_type": _m_value_type,
+    "keys": _m_keys,
+    "[]": _m_index,
+    "key?": _m_has_key,
+    "has_key?": _m_has_key,
+    "size": _m_size,
+    "length": _m_size,
+    "==": _m_eq,
+    "!=": lambda i, r, a, b: not _m_eq(i, r, a, b),
+    "eql?": _m_eq,
+    "canonical": _m_canonical,
+    "to_s": lambda i, r, a, b: RString(r.to_s()),
+    "inspect": lambda i, r, a, b: RString(r.to_s()),
+    "nil?": lambda i, r, a, b: False,
+    "hash": lambda i, r, a, b: 0,
+    "class": lambda i, r, a, b: i.classes.get(_marker_name_of(r)) or i.classes["Type"],
+}
+
+
+def _marker_name_of(rtype: RType) -> str:
+    for name, cls in _MARKERS.items():
+        if isinstance(rtype, cls):
+            return name
+    return "Type"

@@ -1,0 +1,196 @@
+"""Termination and purity checking for type-level code (§4, Fig. 6).
+
+CompRDL guarantees type checking terminates by restricting comp type code:
+
+* no ``while``/``until`` loops;
+* calls must target methods whose termination effect is ``:+``;
+* iterator methods (``:blockdep``) terminate only if their block is *pure*
+  (mutating the collection being iterated could diverge) and itself
+  terminates;
+* recursion in type-level code is assumed absent (as in the paper; a cycle
+  encountered during the recursive body check is treated as the paper's
+  assumption rather than an error).
+
+Purity: a pure method may not assign instance/class/global variables or
+call impure methods.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.typecheck.errors import TerminationError
+
+
+class TerminationChecker:
+    """Checks mini-Ruby ASTs used at the type level."""
+
+    def __init__(self, interp, registry):
+        self.interp = interp
+        self.registry = registry
+        self._verified: set[str] = set()
+        self._in_progress: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def check_comp_code(self, program, description: str) -> None:
+        """Check a comp expression's AST for guaranteed termination."""
+        for node in program.body:
+            self._check_terminates(node, description)
+
+    def check_helper(self, class_name: str, method_name: str) -> None:
+        """Check a type-level helper method's body (recursively)."""
+        key = f"{class_name}#{method_name}"
+        if key in self._verified or key in self._in_progress:
+            return
+        body_node = self.registry.lookup_body(class_name, method_name, False, self.interp) \
+            or self.registry.lookup_body(class_name, method_name, True, self.interp)
+        if body_node is None:
+            # native helper: trust its declared effect (checked by caller)
+            self._verified.add(key)
+            return
+        self._in_progress.add(key)
+        try:
+            for stmt in body_node.body:
+                self._check_terminates(stmt, key)
+        finally:
+            self._in_progress.discard(key)
+        self._verified.add(key)
+
+    # ------------------------------------------------------------------
+    # termination walk
+    # ------------------------------------------------------------------
+    def _check_terminates(self, node, context: str) -> None:
+        if node is None or isinstance(node, (str, int, float)):
+            return
+        if isinstance(node, ast.While):
+            raise TerminationError(
+                f"type-level code may not contain loops ({context})", node.line
+            )
+        if isinstance(node, ast.MethodCall):
+            self._check_call(node, context)
+            return
+        if isinstance(node, (ast.IndexAssign, ast.AttrAssign)):
+            self._each_child(node, lambda child: self._check_terminates(child, context))
+            return
+        self._each_child(node, lambda child: self._check_terminates(child, context))
+
+    def _check_call(self, node: ast.MethodCall, context: str) -> None:
+        if node.receiver is not None:
+            self._check_terminates(node.receiver, context)
+        for arg in node.args:
+            self._check_terminates(arg, context)
+
+        effect = self._effect_for(node)
+        if effect.terminates == "-":
+            raise TerminationError(
+                f"type-level code calls '{node.name}', which may not terminate "
+                f"({context})", node.line
+            )
+        if effect.terminates == "blockdep":
+            if node.block is not None:
+                if not self.is_pure_block(node.block):
+                    raise TerminationError(
+                        f"iterator '{node.name}' in type-level code takes an "
+                        f"impure block ({context})", node.line
+                    )
+                for stmt in node.block.body:
+                    self._check_terminates(stmt, context)
+            # block-less iterator calls return eagerly in our runtime
+        elif node.block is not None:
+            for stmt in node.block.body:
+                self._check_terminates(stmt, context)
+
+        # user-defined helpers: verify their bodies too
+        if node.receiver is None:
+            body = self.registry.lookup_body("Object", node.name, False, self.interp)
+            if body is not None:
+                self.check_helper("Object", node.name)
+
+    def _effect_for(self, node: ast.MethodCall):
+        """Best-effort effect lookup: receiver class is unknown statically at
+        the type level, so consult annotations by method name, then the
+        default table."""
+        from repro.comp.effects import default_effect
+        from repro.typecheck.registry import EffectInfo
+
+        # self-call to a helper defined on Object
+        if node.receiver is None:
+            effect = self.registry.effect_of("Object", node.name, False, self.interp)
+            if self.registry.lookup_body("Object", node.name, False, self.interp) is not None:
+                # user helper bodies are verified recursively; treat the call
+                # as terminating if annotated '+' or unannotated-but-verified
+                if effect.terminates == "-":
+                    annotated = any(
+                        key.method_name == node.name and any(a.terminates for a in anns)
+                        for key, anns in self.registry.method_annotations.items()
+                    )
+                    if annotated:
+                        return effect
+                    return EffectInfo("+", effect.pure)
+            return effect
+
+    # receiver calls: look for any annotation naming this method
+        for key, annotations in self.registry.method_annotations.items():
+            if key.method_name == node.name:
+                terminates = next((a.terminates for a in annotations if a.terminates), None)
+                pure = next((a.pure for a in annotations if a.pure), None)
+                if terminates or pure:
+                    return EffectInfo(terminates or "+", pure or "+")
+        if isinstance(node.receiver, ast.ConstRef):
+            return default_effect(node.receiver.name, node.name)
+        return default_effect("Object", node.name)
+
+    # ------------------------------------------------------------------
+    # purity
+    # ------------------------------------------------------------------
+    def is_pure_block(self, block: ast.BlockNode) -> bool:
+        """A pure block writes no ivar/gvar and calls no impure methods."""
+        return all(self._is_pure(stmt) for stmt in block.body)
+
+    def _is_pure(self, node) -> bool:
+        if node is None or isinstance(node, (str, int, float)):
+            return True
+        if isinstance(node, ast.Assign):
+            if isinstance(node.target, (ast.IVar, ast.GVar)):
+                return False
+            return self._is_pure(node.value)
+        if isinstance(node, (ast.IndexAssign, ast.AttrAssign)):
+            return False
+        if isinstance(node, ast.MethodCall):
+            effect = self._effect_for(node)
+            if effect.pure == "-":
+                return False
+            children_pure = all(self._is_pure(a) for a in node.args)
+            if node.receiver is not None:
+                children_pure = children_pure and self._is_pure(node.receiver)
+            if node.block is not None:
+                children_pure = children_pure and self.is_pure_block(node.block)
+            return children_pure
+        result = True
+
+        def visit(child):
+            nonlocal result
+            if not self._is_pure(child):
+                result = False
+
+        self._each_child(node, visit)
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _each_child(node, visit) -> None:
+        for field_name in getattr(node, "__dataclass_fields__", {}):
+            if field_name in ("line", "node_id"):
+                continue
+            value = getattr(node, field_name)
+            if isinstance(value, ast.Node):
+                visit(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.Node):
+                        visit(item)
+                    elif isinstance(item, tuple):
+                        for part in item:
+                            if isinstance(part, ast.Node):
+                                visit(part)

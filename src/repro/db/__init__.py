@@ -1,0 +1,13 @@
+"""An in-memory relational database substrate.
+
+The paper's headline application is typing database queries: comp types look
+up table schemas (``RDL.db_schema``) to compute precise query types (§2.1).
+This package provides the schemas, rows, and query engine that the
+ActiveRecord-like and Sequel-like DSLs (:mod:`repro.orm`) and the SQL type
+checker (:mod:`repro.sqltc`) operate on.
+"""
+
+from repro.db.schema import Column, Database, TableSchema
+from repro.db.engine import QueryEngine
+
+__all__ = ["Column", "Database", "QueryEngine", "TableSchema"]

@@ -1,0 +1,112 @@
+"""Query execution over the in-memory database.
+
+Executes the query shapes the ORM DSLs produce: filters over one table,
+inner joins over associated tables with nested condition hashes (the
+``{ apartments: { bedrooms: 2 } }`` form from §1), ordering, and limits.
+Raw-SQL ``where`` fragments are executed by :mod:`repro.sqltc.evaluator`.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import Database
+
+
+class QueryEngine:
+    """Evaluates relational queries against a :class:`Database`."""
+
+    def __init__(self, db: Database):
+        self.db = db
+
+    # ------------------------------------------------------------------
+    def rows_for(self, base_table: str, joins: list[str]) -> list[dict]:
+        """Rows of ``base_table``, inner-joined with each table in ``joins``.
+
+        Join keys follow Rails conventions: the joined table carries
+        ``<singular-of-base>_id``.  Joined rows are nested under the joined
+        table's name so conditions like ``emails: {email: ...}`` can apply.
+        """
+        rows = [dict(r) for r in self.db.all_rows(base_table)]
+        for join_table in joins:
+            fk = singularize(base_table) + "_id"
+            reverse_fk = singularize(join_table) + "_id"
+            join_schema = self.db.schema_of(join_table)
+            base_schema = self.db.schema_of(base_table)
+            has_many = join_schema is not None and join_schema.column(fk) is not None
+            belongs_to = base_schema is not None and base_schema.column(reverse_fk) is not None
+            joined: list[dict] = []
+            for row in rows:
+                for other in self.db.all_rows(join_table):
+                    if has_many:
+                        matches = other.get(fk) == row.get("id")
+                    elif belongs_to:
+                        matches = row.get(reverse_fk) == other.get("id")
+                    else:
+                        matches = False
+                    if matches:
+                        merged = dict(row)
+                        merged[join_table] = other
+                        joined.append(merged)
+            rows = joined
+        return rows
+
+    def filter_rows(self, rows: list[dict], conditions: dict) -> list[dict]:
+        """Filter by a (possibly nested) conditions dictionary."""
+        out = []
+        for row in rows:
+            if self._matches(row, conditions):
+                out.append(row)
+        return out
+
+    def _matches(self, row: dict, conditions: dict) -> bool:
+        for key, expected in conditions.items():
+            if isinstance(expected, dict):
+                nested = row.get(key)
+                if not isinstance(nested, dict) or not self._matches(nested, expected):
+                    return False
+            elif isinstance(expected, list):
+                if row.get(key) not in expected:
+                    return False
+            else:
+                if row.get(key) != expected:
+                    return False
+        return True
+
+    def order_rows(self, rows: list[dict], column: str, descending: bool = False) -> list[dict]:
+        return sorted(rows, key=lambda r: (r.get(column) is None, r.get(column)),
+                      reverse=descending)
+
+
+def singularize(table: str) -> str:
+    """Rails-ish singularization (people → person, emails → email)."""
+    irregular = {"people": "person", "children": "child"}
+    if table in irregular:
+        return irregular[table]
+    if table.endswith("ies"):
+        return table[:-3] + "y"
+    if table.endswith("ses"):
+        return table[:-2]
+    if table.endswith("s"):
+        return table[:-1]
+    return table
+
+
+def pluralize(name: str) -> str:
+    """Rails-ish pluralization of a model name (Person → people)."""
+    irregular = {"person": "people", "child": "children"}
+    lowered = snake_case(name)
+    if lowered in irregular:
+        return irregular[lowered]
+    if lowered.endswith("y") and lowered[-2] not in "aeiou":
+        return lowered[:-1] + "ies"
+    if lowered.endswith(("s", "x", "ch", "sh")):
+        return lowered + "es"
+    return lowered + "s"
+
+
+def snake_case(name: str) -> str:
+    out = []
+    for index, ch in enumerate(name):
+        if ch.isupper() and index > 0:
+            out.append("_")
+        out.append(ch.lower())
+    return "".join(out)

@@ -1,0 +1,151 @@
+"""Database schemas and storage.
+
+Schemas are the ground truth the comp types consult: ``RDL.db_schema``
+returns a hash from table name to ``Table<{col: Type, ...}>`` — exactly the
+shape ``schema_type`` destructures in Fig. 1b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtypes import FiniteHashType, GenericType, NominalType, RType
+from repro.rtypes.kinds import Sym
+from repro.runtime.objects import RHash, RString
+
+_COLUMN_TYPES: dict[str, RType] = {
+    "integer": NominalType("Integer"),
+    "string": NominalType("String"),
+    "text": NominalType("String"),
+    "boolean": NominalType("Boolean"),
+    "float": NominalType("Float"),
+    "datetime": NominalType("String"),
+}
+
+
+@dataclass
+class Column:
+    """One column: a name and a SQL-ish type kind."""
+
+    name: str
+    kind: str
+
+    def rtype(self) -> RType:
+        if self.kind not in _COLUMN_TYPES:
+            raise ValueError(f"unknown column type {self.kind!r}")
+        return _COLUMN_TYPES[self.kind]
+
+
+@dataclass
+class TableSchema:
+    """A table's name and ordered columns."""
+
+    name: str
+    columns: dict[str, Column] = field(default_factory=dict)
+    _fh_cache: FiniteHashType | None = field(default=None, repr=False, compare=False)
+
+    def column(self, name: str) -> Column | None:
+        return self.columns.get(name)
+
+    def finite_hash(self) -> FiniteHashType:
+        """The schema as a finite hash type ``{col: Type, ...}`` (memoized;
+        column mutations invalidate the cache)."""
+        if self._fh_cache is None:
+            self._fh_cache = FiniteHashType(
+                {Sym(c.name): c.rtype() for c in self.columns.values()}
+            )
+        return self._fh_cache
+
+    def table_type(self) -> GenericType:
+        """The schema as ``Table<{...}>``."""
+        return GenericType("Table", [self.finite_hash()])
+
+
+class Database:
+    """Schemas plus row storage plus declared associations."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, TableSchema] = {}
+        self.rows: dict[str, list[dict]] = {}
+        # model associations: (owner_table, assoc_table) pairs declared via
+        # has_many / belongs_to — consulted by the `joins` comp type
+        self.associations: set[tuple[str, str]] = set()
+        self._next_ids: dict[str, int] = {}
+        # bumped on every schema mutation; comp-type re-evaluation caches
+        # key on it so consistency checks stay sound (§4) but cheap
+        self.version = 0
+
+    # -- schema -----------------------------------------------------------
+    def create_table(self, table_name: str, **columns: str) -> TableSchema:
+        """Create a table: ``create_table("users", username="string", ...)``.
+
+        An integer ``id`` column is added automatically when absent.
+        """
+        schema = TableSchema(
+            table_name, {c: Column(c, kind) for c, kind in columns.items()}
+        )
+        if "id" not in schema.columns:
+            schema.columns = {"id": Column("id", "integer"), **schema.columns}
+        self.tables[table_name] = schema
+        self.rows[table_name] = []
+        self._next_ids[table_name] = 1
+        self.version += 1
+        return schema
+
+    def drop_column(self, table: str, column: str) -> None:
+        """Remove a column (used to exercise comp-type consistency checks)."""
+        schema = self.tables[table]
+        schema.columns.pop(column, None)
+        schema._fh_cache = None
+        self.version += 1
+
+    def add_column(self, table: str, column: str, kind: str) -> None:
+        self.tables[table].columns[column] = Column(column, kind)
+        self.tables[table]._fh_cache = None
+        self.version += 1
+
+    def schema_of(self, table: str) -> TableSchema | None:
+        return self.tables.get(table)
+
+    def schema_hash(self) -> RHash:
+        """``RDL.db_schema``: table name symbol → ``Table<{...}>`` type."""
+        result = RHash()
+        for name, schema in self.tables.items():
+            result.set(Sym(name), schema.table_type())
+        return result
+
+    def declare_association(self, owner_table: str, assoc_table: str) -> None:
+        self.associations.add((owner_table, assoc_table))
+        self.version += 1
+
+    def associated(self, owner_table: str, assoc_table: str) -> bool:
+        return (owner_table, assoc_table) in self.associations
+
+    # -- rows ----------------------------------------------------------------
+    def insert(self, table: str, values: dict) -> dict:
+        """Insert a row (auto-assigning ``id``) and return it."""
+        if table not in self.tables:
+            raise KeyError(f"no such table {table!r}")
+        row = dict(values)
+        if "id" not in row:
+            row["id"] = self._next_ids[table]
+            self._next_ids[table] += 1
+        else:
+            self._next_ids[table] = max(self._next_ids[table], int(row["id"]) + 1)
+        self.rows[table].append(row)
+        return row
+
+    def all_rows(self, table: str) -> list[dict]:
+        return list(self.rows.get(table, []))
+
+    def delete_rows(self, table: str, predicate) -> int:
+        before = len(self.rows[table])
+        self.rows[table] = [r for r in self.rows[table] if not predicate(r)]
+        return before - len(self.rows[table])
+
+    def clear(self, table: str | None = None) -> None:
+        if table is None:
+            for name in self.rows:
+                self.rows[name] = []
+        else:
+            self.rows[table] = []

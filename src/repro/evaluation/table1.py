@@ -1,0 +1,79 @@
+"""Table 1: library methods with comp type definitions.
+
+Loads the annotation sets and counts, per library: comp type definitions,
+lines of type-level code, and shared helper methods — side by side with the
+paper's reported numbers.
+
+Run with ``python -m repro.evaluation.table1``.
+"""
+
+from __future__ import annotations
+
+from repro.api import CompRDL
+
+PAPER_TABLE1 = {
+    "Array": {"comp_defs": 114, "loc": 215, "helpers": 15},
+    "Hash": {"comp_defs": 48, "loc": 247, "helpers": 15},
+    "String": {"comp_defs": 114, "loc": 178, "helpers": 12},
+    "Float": {"comp_defs": 98, "loc": 12, "helpers": 1},
+    "Integer": {"comp_defs": 108, "loc": 12, "helpers": 1},
+    "ActiveRecord": {"comp_defs": 77, "loc": 375, "helpers": 18},
+    "Sequel": {"comp_defs": 27, "loc": 408, "helpers": 22},
+}
+
+_ORDER = ["Array", "Hash", "String", "Float", "Integer", "ActiveRecord", "Sequel"]
+
+
+def table1_rows(rdl: CompRDL | None = None) -> dict:
+    """Measured Table 1 numbers from a loaded CompRDL instance."""
+    if rdl is None:
+        rdl = CompRDL()
+    stats = dict(rdl.library_stats)
+    helpers = stats.pop("_helpers", {"count": 0})["count"]
+    rows = {}
+    for library in _ORDER:
+        measured = stats.get(library, {"comp_defs": 0, "loc": 0})
+        rows[library] = {
+            "comp_defs": measured["comp_defs"],
+            "loc": measured["loc"],
+            "paper_comp_defs": PAPER_TABLE1[library]["comp_defs"],
+            "paper_loc": PAPER_TABLE1[library]["loc"],
+        }
+    rows["_total"] = {
+        "comp_defs": sum(rows[l]["comp_defs"] for l in _ORDER),
+        "loc": sum(rows[l]["loc"] for l in _ORDER),
+        "paper_comp_defs": 586,
+        "paper_loc": 1447,
+        "helpers": helpers,
+        "paper_helpers": 83,
+    }
+    return rows
+
+
+def render_table1(rows: dict | None = None) -> str:
+    rows = rows or table1_rows()
+    lines = [
+        "Table 1: Library methods with comp type definitions",
+        f"{'Library':<14}{'CompDefs':>10}{'(paper)':>9}{'Type LoC':>10}{'(paper)':>9}",
+        "-" * 52,
+    ]
+    for library in _ORDER:
+        row = rows[library]
+        lines.append(
+            f"{library:<14}{row['comp_defs']:>10}{row['paper_comp_defs']:>9}"
+            f"{row['loc']:>10}{row['paper_loc']:>9}"
+        )
+    total = rows["_total"]
+    lines.append("-" * 52)
+    lines.append(
+        f"{'Total':<14}{total['comp_defs']:>10}{total['paper_comp_defs']:>9}"
+        f"{total['loc']:>10}{total['paper_loc']:>9}"
+    )
+    lines.append(
+        f"Helper methods: {total['helpers']} (paper: {total['paper_helpers']})"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render_table1())

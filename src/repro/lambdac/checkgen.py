@@ -1,0 +1,154 @@
+"""λC type checking *and rewriting* rules Γ ⊢ e ↪ e' : A (Fig. 5 / Fig. 9).
+
+Library calls are rewritten to checked calls ``⌈A⌉e.m(e)``; comp signatures
+(rule C-App-Comp) type check their type-level expressions under the erased
+class table T(CT) — preventing the infinite regress of §3.2 — then
+*evaluate* them with ``tself`` and ``a`` bound to the receiver/argument
+class ids, yielding the concrete A1/A2 used for the subtype check and the
+inserted runtime check.
+"""
+
+from __future__ import annotations
+
+from repro.lambdac.semantics import Blame, Machine
+from repro.lambdac.syntax import (
+    Call,
+    CheckedCall,
+    ClassTable,
+    CompSig,
+    Eq,
+    Expr,
+    If,
+    LibMethod,
+    MethodSig,
+    New,
+    SelfE,
+    Seq,
+    TSelfE,
+    UserMethod,
+    Val,
+    VClassId,
+    Var,
+)
+from repro.lambdac.typing import LCTypeError, type_check, type_of_val
+
+
+def erased_table(table: ClassTable) -> ClassTable:
+    """T(CT): every comp signature (a<:e1/A1) → e2/A2 becomes A1 → A2."""
+    erased = ClassTable()
+    erased.parents = dict(table.parents)
+    erased.user = dict(table.user)
+    erased.lib = {}
+    for key, method in table.lib.items():
+        sig = method.sig.erased() if isinstance(method.sig, CompSig) else method.sig
+        erased.lib[key] = LibMethod(method.class_name, method.name, sig, method.impl)
+    return erased
+
+
+def check_and_rewrite(table: ClassTable, e: Expr,
+                      env: dict[str, str] | None = None) -> tuple[Expr, str]:
+    """Γ ⊢CT e ↪ e' : A — returns the rewritten expression and its type."""
+    env = env or {}
+    # C-Nil / C-True / C-False / C-Type / C-Obj
+    if isinstance(e, Val):
+        return e, type_of_val(e.value)
+    # C-Var
+    if isinstance(e, Var):
+        if e.name not in env:
+            raise LCTypeError(f"unbound variable {e.name}")
+        return e, env[e.name]
+    if isinstance(e, SelfE):
+        if "self" not in env:
+            raise LCTypeError("self not in scope")
+        return e, env["self"]
+    if isinstance(e, TSelfE):
+        if "tself" not in env:
+            raise LCTypeError("tself not in scope")
+        return e, env["tself"]
+    # C-New
+    if isinstance(e, New):
+        return e, e.class_name
+    # C-Seq
+    if isinstance(e, Seq):
+        first, _ = check_and_rewrite(table, e.first, env)
+        second, second_t = check_and_rewrite(table, e.second, env)
+        return Seq(first, second), second_t
+    # C-Eq
+    if isinstance(e, Eq):
+        left, _ = check_and_rewrite(table, e.left, env)
+        right, _ = check_and_rewrite(table, e.right, env)
+        return Eq(left, right), "Bool"
+    # C-If
+    if isinstance(e, If):
+        cond, _ = check_and_rewrite(table, e.cond, env)
+        then, then_t = check_and_rewrite(table, e.then, env)
+        other, other_t = check_and_rewrite(table, e.other, env)
+        return If(cond, then, other), table.lub(then_t, other_t)
+    # calls
+    if isinstance(e, Call):
+        return _check_call(table, e, env)
+    raise LCTypeError(f"cannot check {e!r}")
+
+
+def _check_call(table: ClassTable, e: Call, env: dict) -> tuple[Expr, str]:
+    receiver, recv_t = check_and_rewrite(table, e.receiver, env)
+    arg, arg_t = check_and_rewrite(table, e.arg, env)
+    method = table.lookup(recv_t, e.method)
+    if method is None:
+        raise LCTypeError(f"no method {recv_t}.{e.method}")
+
+    # C-AppUD
+    if isinstance(method, UserMethod):
+        if not table.le(arg_t, method.sig.dom):
+            raise LCTypeError(
+                f"argument of {recv_t}.{e.method} has type {arg_t}, "
+                f"expected {method.sig.dom}")
+        return Call(receiver, e.method, arg), method.sig.rng
+
+    # C-AppLib
+    if isinstance(method.sig, MethodSig):
+        if not table.le(arg_t, method.sig.dom):
+            raise LCTypeError(
+                f"argument of {recv_t}.{e.method} has type {arg_t}, "
+                f"expected {method.sig.dom}")
+        return CheckedCall(method.sig.rng, receiver, e.method, arg), method.sig.rng
+
+    # C-App-Comp
+    sig = method.sig
+    tenv = {sig.var: "Type", "tself": "Type"}
+    erased = erased_table(table)
+    # premise: the type-level expressions themselves type check (to Type)
+    # under T(CT) — this is what prevents infinite recursion (§3.2)
+    dom_rewritten, dom_t = check_and_rewrite(erased, sig.dom_expr, tenv)
+    if dom_t != "Type":
+        raise LCTypeError(
+            f"domain expression of {recv_t}.{e.method} has type {dom_t}, "
+            f"expected Type")
+    rng_rewritten, rng_t = check_and_rewrite(erased, sig.rng_expr, tenv)
+    if rng_t != "Type":
+        raise LCTypeError(
+            f"range expression of {recv_t}.{e.method} has type {rng_t}, "
+            f"expected Type")
+    # premise: ⟨[a↦Ax][tself↦A], e⟩ ⇓ A1 / A2
+    machine = Machine(erased)
+    bindings = {sig.var: VClassId(arg_t), "tself": VClassId(recv_t)}
+    try:
+        dom_value = machine.eval_big(dom_rewritten, bindings)
+        rng_value = machine.eval_big(rng_rewritten, bindings)
+    except Blame as blame:
+        raise LCTypeError(f"comp signature evaluation failed: {blame}")
+    if not isinstance(dom_value, VClassId) or not isinstance(rng_value, VClassId):
+        raise LCTypeError("comp signature did not evaluate to a class id")
+    dom_class = dom_value.name
+    rng_class = rng_value.name
+    if not table.le(dom_class, sig.dom_bound):
+        raise LCTypeError(
+            f"computed domain {dom_class} exceeds bound {sig.dom_bound}")
+    if not table.le(rng_class, sig.rng_bound):
+        raise LCTypeError(
+            f"computed range {rng_class} exceeds bound {sig.rng_bound}")
+    if not table.le(arg_t, dom_class):
+        raise LCTypeError(
+            f"argument of {recv_t}.{e.method} has type {arg_t}, "
+            f"expected {dom_class} (computed)")
+    return CheckedCall(rng_class, receiver, e.method, arg), rng_class

@@ -1,0 +1,300 @@
+"""λC syntax and class tables (paper Fig. 4 / Fig. 7).
+
+Values are ``nil``, ``true``, ``false``, class ids (types are values —
+rule C-Type), and object instances ``[A]``.  Methods take exactly one
+argument.  Library methods carry either a conventional signature
+``A1 → A2`` or a comp signature ``(a<:e1/A1) → e2/A2`` whose expressions
+evaluate to class ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+
+# -- values -------------------------------------------------------------------
+
+class Value:
+    """Base class of λC values."""
+
+
+@dataclass(frozen=True)
+class VNil(Value):
+    def __str__(self) -> str:
+        return "nil"
+
+
+@dataclass(frozen=True)
+class VBool(Value):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class VClassId(Value):
+    """A class id used as a value — the ``Type``-typed values of λC."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VObj(Value):
+    """An object instance ``[A]``."""
+
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"[{self.class_name}]"
+
+
+def type_of_value(value: Value) -> str:
+    """λC's ``type_of``: the class id of a value (Fig. 7)."""
+    if isinstance(value, VNil):
+        return "Nil"
+    if isinstance(value, VBool):
+        return "True" if value.value else "False"
+    if isinstance(value, VClassId):
+        return "Type"
+    if isinstance(value, VObj):
+        return value.class_name
+    raise TypeError(f"not a λC value: {value!r}")
+
+
+# -- expressions --------------------------------------------------------------
+
+class Expr:
+    """Base class of λC expressions."""
+
+
+@dataclass(frozen=True)
+class Val(Expr):
+    value: Value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SelfE(Expr):
+    def __str__(self) -> str:
+        return "self"
+
+
+@dataclass(frozen=True)
+class TSelfE(Expr):
+    def __str__(self) -> str:
+        return "tself"
+
+
+@dataclass(frozen=True)
+class New(Expr):
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name}.new"
+
+
+@dataclass(frozen=True)
+class Seq(Expr):
+    first: Expr
+    second: Expr
+
+    def __str__(self) -> str:
+        return f"{self.first}; {self.second}"
+
+
+@dataclass(frozen=True)
+class Eq(Expr):
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} == {self.right}"
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+    def __str__(self) -> str:
+        return f"if {self.cond} then {self.then} else {self.other}"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    receiver: Expr
+    method: str
+    arg: Expr
+
+    def __str__(self) -> str:
+        return f"{self.receiver}.{self.method}({self.arg})"
+
+
+@dataclass(frozen=True)
+class CheckedCall(Expr):
+    """``⌈A⌉e.m(e)`` — inserted by the C-rules; not surface syntax."""
+
+    check_type: str
+    receiver: Expr
+    method: str
+    arg: Expr
+
+    def __str__(self) -> str:
+        return f"⌈{self.check_type}⌉{self.receiver}.{self.method}({self.arg})"
+
+
+# -- signatures and programs ----------------------------------------------------
+
+@dataclass(frozen=True)
+class MethodSig:
+    """A conventional signature ``A1 → A2``."""
+
+    dom: str
+    rng: str
+
+    def __str__(self) -> str:
+        return f"{self.dom} → {self.rng}"
+
+
+@dataclass(frozen=True)
+class CompSig:
+    """A comp signature ``(a<:e1/A1) → e2/A2``."""
+
+    var: str
+    dom_expr: Expr
+    dom_bound: str
+    rng_expr: Expr
+    rng_bound: str
+
+    def erased(self) -> MethodSig:
+        """λC's T(CT) rewriting: drop the type-level expressions (§3.2)."""
+        return MethodSig(self.dom_bound, self.rng_bound)
+
+    def __str__(self) -> str:
+        return (f"({self.var}<:{self.dom_expr}/{self.dom_bound}) → "
+                f"{self.rng_expr}/{self.rng_bound}")
+
+
+@dataclass
+class UserMethod:
+    """``def A.m(x) : σ = e``."""
+
+    class_name: str
+    name: str
+    param: str
+    sig: MethodSig
+    body: Expr
+
+
+@dataclass
+class LibMethod:
+    """``lib A.m(x) : δ`` with a native implementation for ``call()``."""
+
+    class_name: str
+    name: str
+    sig: Union[MethodSig, CompSig]
+    impl: Callable[[Value, Value], Value]
+
+
+@dataclass
+class Program:
+    user_methods: list = field(default_factory=list)
+    lib_methods: list = field(default_factory=list)
+
+
+# -- class table -----------------------------------------------------------------
+
+_BUILTIN_PARENTS = {
+    "Obj": None,
+    "Type": "Obj",
+    "Bool": "Obj",
+    "True": "Bool",
+    "False": "Bool",
+    "Nil": "Obj",  # Nil is also the lattice bottom (special-cased in <=)
+}
+
+
+class ClassTable:
+    """CT: classes (a lattice with Nil bottom, Obj top) and method types."""
+
+    def __init__(self) -> None:
+        self.parents: dict[str, str | None] = dict(_BUILTIN_PARENTS)
+        self.user: dict[tuple[str, str], UserMethod] = {}
+        self.lib: dict[tuple[str, str], LibMethod] = {}
+
+    # -- classes ---------------------------------------------------------
+    def add_class(self, name: str, parent: str = "Obj") -> None:
+        self.parents.setdefault(name, parent)
+
+    def ancestors(self, name: str) -> list[str]:
+        chain = [name]
+        while True:
+            parent = self.parents.get(chain[-1])
+            if parent is None:
+                break
+            chain.append(parent)
+        return chain
+
+    def le(self, a: str, b: str) -> bool:
+        """Subtyping ``A ≤ A'``: Nil is bottom, Obj is top."""
+        if a == b or b == "Obj" or a == "Nil":
+            return True
+        return b in self.ancestors(a)
+
+    def lub(self, a: str, b: str) -> str:
+        """A1 ⊔ A2: least upper bound in the class lattice."""
+        if self.le(a, b):
+            return b
+        if self.le(b, a):
+            return a
+        b_chain = set(self.ancestors(b))
+        for name in self.ancestors(a):
+            if name in b_chain:
+                return name
+        return "Obj"
+
+    # -- methods -----------------------------------------------------------
+    def define_user(self, method: UserMethod) -> None:
+        self.add_class(method.class_name)
+        self.user[(method.class_name, method.name)] = method
+
+    def define_lib(self, method: LibMethod) -> None:
+        self.add_class(method.class_name)
+        self.lib[(method.class_name, method.name)] = method
+
+    def lookup(self, class_name: str, method: str):
+        """Find A.m walking up the hierarchy; returns UserMethod|LibMethod."""
+        for name in self.ancestors(class_name):
+            if (name, method) in self.user:
+                return self.user[(name, method)]
+            if (name, method) in self.lib:
+                return self.lib[(name, method)]
+        return None
+
+    @classmethod
+    def from_program(cls, program: Program,
+                     extra_classes: dict[str, str] | None = None) -> "ClassTable":
+        table = cls()
+        for name, parent in (extra_classes or {}).items():
+            table.add_class(name, parent)
+        for method in program.user_methods:
+            table.define_user(method)
+        for method in program.lib_methods:
+            table.define_lib(method)
+        return table

@@ -1,0 +1,120 @@
+"""λC type checking rules Γ ⊢ e : A (Fig. 10) and program checking (Fig. 11).
+
+These are the *pure* rules (no rewriting) used in the soundness statement;
+:mod:`repro.lambdac.checkgen` implements the ↪ rules that also insert
+checked calls.
+"""
+
+from __future__ import annotations
+
+from repro.lambdac.syntax import (
+    Call,
+    CheckedCall,
+    ClassTable,
+    CompSig,
+    Eq,
+    Expr,
+    If,
+    LibMethod,
+    New,
+    SelfE,
+    Seq,
+    TSelfE,
+    UserMethod,
+    Val,
+    VBool,
+    VClassId,
+    VNil,
+    VObj,
+    Var,
+)
+
+
+class LCTypeError(Exception):
+    """λC static type error."""
+
+
+def type_of_val(value) -> str:
+    if isinstance(value, VNil):
+        return "Nil"
+    if isinstance(value, VBool):
+        return "True" if value.value else "False"
+    if isinstance(value, VClassId):
+        return "Type"
+    if isinstance(value, VObj):
+        return value.class_name
+    raise LCTypeError(f"not a value: {value!r}")
+
+
+def type_check(table: ClassTable, e: Expr, env: dict[str, str] | None = None) -> str:
+    """Γ ⊢CT e : A."""
+    env = env or {}
+    # T-Nil / T-True / T-False / T-Type / T-Obj
+    if isinstance(e, Val):
+        return type_of_val(e.value)
+    # T-Var
+    if isinstance(e, Var):
+        if e.name not in env:
+            raise LCTypeError(f"unbound variable {e.name}")
+        return env[e.name]
+    # T-Self / T-TSelf
+    if isinstance(e, SelfE):
+        if "self" not in env:
+            raise LCTypeError("self not in scope")
+        return env["self"]
+    if isinstance(e, TSelfE):
+        if "tself" not in env:
+            raise LCTypeError("tself not in scope")
+        return env["tself"]
+    # T-New
+    if isinstance(e, New):
+        return e.class_name
+    # T-Seq
+    if isinstance(e, Seq):
+        type_check(table, e.first, env)
+        return type_check(table, e.second, env)
+    # T-Eq
+    if isinstance(e, Eq):
+        type_check(table, e.left, env)
+        type_check(table, e.right, env)
+        return "Bool"
+    # T-If
+    if isinstance(e, If):
+        type_check(table, e.cond, env)
+        then_t = type_check(table, e.then, env)
+        else_t = type_check(table, e.other, env)
+        return table.lub(then_t, else_t)
+    # T-App (user-defined)
+    if isinstance(e, Call):
+        recv_t = type_check(table, e.receiver, env)
+        method = table.lookup(recv_t, e.method)
+        if not isinstance(method, UserMethod):
+            raise LCTypeError(
+                f"{recv_t}.{e.method} is not a user-defined method "
+                f"(library calls must be checked calls)")
+        arg_t = type_check(table, e.arg, env)
+        if not table.le(arg_t, method.sig.dom):
+            raise LCTypeError(
+                f"argument of {recv_t}.{e.method} has type {arg_t}, "
+                f"expected {method.sig.dom}")
+        return method.sig.rng
+    # T-App-Lib
+    if isinstance(e, CheckedCall):
+        recv_t = type_check(table, e.receiver, env)
+        method = table.lookup(recv_t, e.method)
+        if not isinstance(method, LibMethod):
+            raise LCTypeError(f"{recv_t}.{e.method} is not a library method")
+        type_check(table, e.arg, env)
+        return e.check_type
+    raise LCTypeError(f"cannot type {e!r}")
+
+
+def check_program(table: ClassTable, program) -> None:
+    """Fig. 11: check every user method body against its signature (T-PDef)."""
+    for method in program.user_methods:
+        env = {"self": method.class_name, method.param: method.sig.dom}
+        body_t = type_check(table, method.body, env)
+        if not table.le(body_t, method.sig.rng):
+            raise LCTypeError(
+                f"body of {method.class_name}.{method.name} has type "
+                f"{body_t}, expected {method.sig.rng}")

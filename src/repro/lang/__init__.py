@@ -1,0 +1,25 @@
+"""The mini-Ruby language front end.
+
+CompRDL type checks Ruby; this reproduction type checks *mini-Ruby*, a
+substantial Ruby subset covering everything the paper's examples and subject
+programs use: classes, instance/class methods, blocks (brace and ``do..end``
+forms), symbols, string interpolation, array/hash literals, the full
+operator zoo desugared to method calls, ``if``/``unless``/``while``/``case``,
+postfix conditionals, instance/global variables, paren-less DSL calls
+(``has_many :emails``), and RDL-style ``type`` annotation directives.
+"""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import LangError, LexError, ParseError
+from repro.lang.lexer import Lexer, Token
+from repro.lang.parser import parse_program
+
+__all__ = [
+    "Lexer",
+    "LangError",
+    "LexError",
+    "ParseError",
+    "Token",
+    "ast",
+    "parse_program",
+]

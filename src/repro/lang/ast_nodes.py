@@ -1,0 +1,332 @@
+"""AST node definitions for mini-Ruby.
+
+Nodes are plain dataclasses.  Operators (``+``, ``[]``, comparisons, …) are
+desugared by the parser into :class:`MethodCall` nodes, mirroring Ruby where
+``x[k]`` is ``x.[](k)`` — this is what lets comp types give precise types to
+"operators" (§2.2).  Only short-circuit ``&&``/``||``/``!`` keep dedicated
+nodes because they are control flow, not method calls.
+
+Every node has a ``line`` for error reporting, and ``MethodCall`` nodes have
+a stable ``node_id`` so the type checker can attach dynamic-check metadata
+that the interpreter later consults (the rewriting step of §3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_NODE_COUNTER = itertools.count(1)
+
+
+def fresh_node_id() -> int:
+    """A unique id for call nodes (used to key inserted dynamic checks)."""
+    return next(_NODE_COUNTER)
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Literals and simple expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class NilLit(Node):
+    pass
+
+
+@dataclass
+class TrueLit(Node):
+    pass
+
+
+@dataclass
+class FalseLit(Node):
+    pass
+
+
+@dataclass
+class IntLit(Node):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Node):
+    value: float = 0.0
+
+
+@dataclass
+class StrLit(Node):
+    value: str = ""
+
+
+@dataclass
+class StrInterp(Node):
+    """A double-quoted string with ``#{}`` interpolation.
+
+    ``parts`` alternates literal strings and expression nodes.
+    """
+
+    parts: list = field(default_factory=list)
+
+
+@dataclass
+class SymLit(Node):
+    name: str = ""
+
+
+@dataclass
+class ArrayLit(Node):
+    elements: list = field(default_factory=list)
+
+
+@dataclass
+class HashLit(Node):
+    """A hash literal; ``pairs`` is a list of (key_node, value_node)."""
+
+    pairs: list = field(default_factory=list)
+
+
+@dataclass
+class RangeLit(Node):
+    low: Node = None
+    high: Node = None
+    exclusive: bool = False
+
+
+@dataclass
+class SelfExpr(Node):
+    pass
+
+
+@dataclass
+class LocalVar(Node):
+    name: str = ""
+
+
+@dataclass
+class IVar(Node):
+    name: str = ""
+
+
+@dataclass
+class GVar(Node):
+    name: str = ""
+
+
+@dataclass
+class ConstRef(Node):
+    """A constant reference: a class name or a plain constant."""
+
+    name: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Calls and blocks
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BlockNode(Node):
+    """A code block ``{ |params| body }`` or ``do |params| body end``."""
+
+    params: list = field(default_factory=list)
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class MethodCall(Node):
+    """``receiver.name(args) { block }``; receiver None means a self-call."""
+
+    receiver: Optional[Node] = None
+    name: str = ""
+    args: list = field(default_factory=list)
+    block: Optional[BlockNode] = None
+    block_arg: Optional[Node] = None  # `&expr` block-pass argument
+    node_id: int = field(default_factory=fresh_node_id)
+
+
+@dataclass
+class Yield(Node):
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class AndOp(Node):
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class OrOp(Node):
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class NotOp(Node):
+    operand: Node = None
+
+
+@dataclass
+class Defined(Node):
+    """``defined?(expr)`` — used by apps to probe constants."""
+
+    operand: Node = None
+
+
+# ---------------------------------------------------------------------------
+# Assignment
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Assign(Node):
+    """Assignment to a local/ivar/gvar/const target."""
+
+    target: Node = None
+    value: Node = None
+
+
+@dataclass
+class MultiAssign(Node):
+    """``a, b = e1, e2`` (parallel assignment)."""
+
+    targets: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+
+@dataclass
+class IndexAssign(Node):
+    """``recv[args] = value`` — desugars to ``recv.[]=(args..., value)``
+    but keeps its own node so the checker can do weak updates."""
+
+    receiver: Node = None
+    args: list = field(default_factory=list)
+    value: Node = None
+    node_id: int = field(default_factory=fresh_node_id)
+
+
+@dataclass
+class AttrAssign(Node):
+    """``recv.name = value`` — a call to the ``name=`` setter."""
+
+    receiver: Node = None
+    name: str = ""
+    value: Node = None
+    node_id: int = field(default_factory=fresh_node_id)
+
+
+@dataclass
+class OpAssign(Node):
+    """``target op= value`` for ``||=``/``&&=`` (short-circuit semantics)."""
+
+    target: Node = None
+    op: str = ""
+    value: Node = None
+
+
+# ---------------------------------------------------------------------------
+# Control flow and definitions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class If(Node):
+    cond: Node = None
+    then_body: list = field(default_factory=list)
+    else_body: list = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Node = None
+    body: list = field(default_factory=list)
+    is_until: bool = False
+
+
+@dataclass
+class CaseWhen(Node):
+    """One ``when values then body`` arm of a case expression."""
+
+    values: list = field(default_factory=list)
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class Case(Node):
+    subject: Optional[Node] = None
+    whens: list = field(default_factory=list)
+    else_body: list = field(default_factory=list)
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class Break(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class Next(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class Param(Node):
+    """A method/block parameter, optionally with a default expression."""
+
+    name: str = ""
+    default: Optional[Node] = None
+    is_block: bool = False
+    is_splat: bool = False
+
+
+@dataclass
+class MethodDef(Node):
+    """``def name(params) body end``; ``is_self`` marks ``def self.name``."""
+
+    name: str = ""
+    params: list = field(default_factory=list)
+    body: list = field(default_factory=list)
+    is_self: bool = False
+
+
+@dataclass
+class ClassDef(Node):
+    name: str = ""
+    superclass: Optional[str] = None
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class ModuleDef(Node):
+    name: str = ""
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class BeginRescue(Node):
+    """``begin body rescue [Class =>] var; handler end`` (single clause)."""
+
+    body: list = field(default_factory=list)
+    rescue_class: Optional[str] = None
+    rescue_var: Optional[str] = None
+    rescue_body: list = field(default_factory=list)
+    ensure_body: list = field(default_factory=list)
+
+
+@dataclass
+class Raise(Node):
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    body: list = field(default_factory=list)

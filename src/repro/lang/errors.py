@@ -1,0 +1,20 @@
+"""Errors raised by the mini-Ruby front end."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for lexing/parsing errors, carrying a source line."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.message = message
+        self.line = line
+
+
+class LexError(LangError):
+    """An invalid character or unterminated literal."""
+
+
+class ParseError(LangError):
+    """A syntactically invalid program."""

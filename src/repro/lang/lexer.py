@@ -1,0 +1,286 @@
+"""Lexer for mini-Ruby.
+
+Produces a flat token stream with explicit ``newline`` tokens (statement
+terminators).  Double-quoted strings are lexed into interpolation *parts*:
+a list alternating literal text and raw code fragments (``#{...}``), which
+the parser recursively parses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import LexError
+
+KEYWORDS = {
+    "def", "end", "if", "elsif", "else", "unless", "while", "until",
+    "return", "class", "module", "self", "nil", "true", "false", "then",
+    "do", "yield", "case", "when", "and", "or", "not", "break", "next",
+    "begin", "rescue", "ensure", "raise", "require", "require_relative",
+    "super", "lambda", "proc",
+}
+
+# Longest first so that e.g. "<=>" wins over "<=".
+OPERATORS = [
+    "<=>", "===", "**=", "<<=", ">>=", "...", "&&=", "||=",
+    "==", "!=", "<=", ">=", "**", "<<", ">>", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "=>", "=~", "::", "..", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", ".", ",", "(", ")",
+    "[", "]", "{", "}", "|", "&", "?", ":", ";", "@",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: ``kind`` discriminates, ``value`` carries payload."""
+
+    kind: str
+    value: object
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.value!r}, L{self.line})"
+
+
+class Lexer:
+    """Tokenize mini-Ruby source text."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.tokens: list[Token] = []
+
+    def error(self, message: str) -> LexError:
+        return LexError(message, self.line)
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole source, returning the token list (ends with eof)."""
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch == "\n":
+                self._emit_newline()
+                self.pos += 1
+                self.line += 1
+            elif ch in " \t\r":
+                self.pos += 1
+            elif ch == "\\" and self._peek(1) == "\n":
+                # explicit line continuation
+                self.pos += 2
+                self.line += 1
+            elif ch == "#":
+                self._skip_comment()
+            elif ch.isdigit():
+                self._lex_number()
+            elif ch == '"':
+                self._lex_dstring()
+            elif ch == "'":
+                self._lex_sstring()
+            elif ch == ":" and self._is_symbol_start(self._peek(1)):
+                self._lex_symbol()
+            elif ch == "@":
+                self._lex_ivar()
+            elif ch == "$":
+                self._lex_gvar()
+            elif ch.isalpha() or ch == "_":
+                self._lex_word()
+            else:
+                self._lex_operator()
+        self._emit_newline()
+        self.tokens.append(Token("eof", None, self.line))
+        return self.tokens
+
+    # -- helpers -----------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _emit_newline(self) -> None:
+        if self.tokens and self.tokens[-1].kind not in ("newline",):
+            self.tokens.append(Token("newline", None, self.line))
+
+    def _skip_comment(self) -> None:
+        while self.pos < len(self.source) and self.source[self.pos] != "\n":
+            self.pos += 1
+
+    _SYMBOL_OPERATORS = ["<=>", "==", "!=", "[]=", "[]", "<=", ">=", "<<",
+                         "**", "-@", "+", "-", "*", "/", "%", "<", ">", "!"]
+
+    @staticmethod
+    def _is_symbol_start(ch: str) -> bool:
+        return bool(ch) and (ch.isalpha() or ch in '_"@$' or ch in "+-*/%<>=![")
+
+    def _lex_number(self) -> None:
+        start = self.pos
+        while self._peek().isdigit() or self._peek() == "_":
+            self.pos += 1
+        if self._peek() == "." and self._peek(1).isdigit():
+            self.pos += 1
+            while self._peek().isdigit():
+                self.pos += 1
+            literal = self.source[start:self.pos].replace("_", "")
+            self.tokens.append(Token("float", float(literal), self.line))
+        else:
+            literal = self.source[start:self.pos].replace("_", "")
+            self.tokens.append(Token("int", int(literal), self.line))
+
+    _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "s": " ",
+                "\\": "\\", "'": "'", '"': '"', "#": "#"}
+
+    def _lex_sstring(self) -> None:
+        self.pos += 1
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self.error("unterminated string literal")
+            if ch == "'":
+                self.pos += 1
+                break
+            if ch == "\\" and self._peek(1) in ("'", "\\"):
+                chars.append(self._peek(1))
+                self.pos += 2
+            else:
+                if ch == "\n":
+                    self.line += 1
+                chars.append(ch)
+                self.pos += 1
+        self.tokens.append(Token("string", "".join(chars), self.line))
+
+    def _lex_dstring(self) -> None:
+        self.pos += 1
+        parts: list[tuple[str, str]] = []
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self.error("unterminated string literal")
+            if ch == '"':
+                self.pos += 1
+                break
+            if ch == "\\":
+                escape = self._peek(1)
+                chars.append(self._ESCAPES.get(escape, "\\" + escape))
+                self.pos += 2
+                continue
+            if ch == "#" and self._peek(1) == "{":
+                if chars:
+                    parts.append(("str", "".join(chars)))
+                    chars = []
+                parts.append(("code", self._lex_interp_code()))
+                continue
+            if ch == "\n":
+                self.line += 1
+            chars.append(ch)
+            self.pos += 1
+        if chars or not parts:
+            parts.append(("str", "".join(chars)))
+        if len(parts) == 1 and parts[0][0] == "str":
+            self.tokens.append(Token("string", parts[0][1], self.line))
+        else:
+            self.tokens.append(Token("dstring", parts, self.line))
+
+    def _lex_interp_code(self) -> str:
+        # positioned at '#{'
+        self.pos += 2
+        depth = 1
+        start = self.pos
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    code = self.source[start:self.pos]
+                    self.pos += 1
+                    return code
+            elif ch == "\n":
+                self.line += 1
+            self.pos += 1
+        raise self.error("unterminated string interpolation")
+
+    def _lex_symbol(self) -> None:
+        self.pos += 1
+        for op in self._SYMBOL_OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self.tokens.append(Token("symbol", op, self.line))
+                self.pos += len(op)
+                return
+        if self._peek() == '"':
+            # :"quoted symbol"
+            self._lex_dstring()
+            token = self.tokens.pop()
+            if token.kind != "string":
+                raise self.error("interpolated symbols are not supported")
+            self.tokens.append(Token("symbol", token.value, self.line))
+            return
+        start = self.pos
+        # ivar/gvar symbols: :@data, :@@count, :$db
+        while self._peek() in ("@", "$"):
+            self.pos += 1
+        while self._peek().isalnum() or self._peek() == "_":
+            self.pos += 1
+        if self._peek() in ("?", "!"):
+            self.pos += 1
+        elif self._peek() == "=" and self._peek(1) not in (">", "="):
+            self.pos += 1
+        self.tokens.append(Token("symbol", self.source[start:self.pos], self.line))
+
+    def _lex_ivar(self) -> None:
+        self.pos += 1
+        if self._peek() == "@":
+            self.pos += 1
+            prefix = "@@"
+        else:
+            prefix = "@"
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self.pos += 1
+        name = self.source[start:self.pos]
+        if not name:
+            raise self.error("bad instance variable name")
+        self.tokens.append(Token("ivar", prefix + name, self.line))
+
+    def _lex_gvar(self) -> None:
+        self.pos += 1
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self.pos += 1
+        name = self.source[start:self.pos]
+        if not name:
+            raise self.error("bad global variable name")
+        self.tokens.append(Token("gvar", "$" + name, self.line))
+
+    def _lex_word(self) -> None:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self.pos += 1
+        # method-name suffixes ? and ! — but not when the next char makes a
+        # two-char operator (a != b) or begins a chain (x!.y is not a name)
+        if self._peek() in ("?", "!") and self._peek(1) not in (".", "=", "~"):
+            self.pos += 1
+        word = self.source[start:self.pos]
+        line = self.line
+        if word in KEYWORDS:
+            self.tokens.append(Token("kw", word, line))
+        elif word[0].isupper():
+            # Allow namespaced constants (ActiveRecord::Base)
+            while self.source.startswith("::", self.pos) and self._peek(2).isalpha():
+                self.pos += 2
+                while self._peek().isalnum() or self._peek() == "_":
+                    self.pos += 1
+                word = self.source[start:self.pos]
+            self.tokens.append(Token("const", word, line))
+        else:
+            self.tokens.append(Token("ident", word, line))
+
+    def _lex_operator(self) -> None:
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self.tokens.append(Token("op", op, self.line))
+                self.pos += len(op)
+                return
+        raise self.error(f"unexpected character {self.source[self.pos]!r}")

@@ -1,0 +1,14 @@
+"""ORM substrates: ActiveRecord-like and Sequel-like query DSLs.
+
+These are the libraries the paper annotates with comp types (Table 1: 77
+ActiveRecord methods, 27 Sequel methods).  Queries run for real against the
+in-memory database (:mod:`repro.db`), so the dynamic checks inserted by the
+type checker have actual behaviour to validate, and the subject apps' test
+suites can measure check overhead (Table 2).
+"""
+
+from repro.orm.relation import RelationValue
+from repro.orm.activerecord import install_activerecord
+from repro.orm.sequel import install_sequel
+
+__all__ = ["RelationValue", "install_activerecord", "install_sequel"]

@@ -1,0 +1,433 @@
+"""The ActiveRecord-like ORM DSL.
+
+Model classes inherit ``ActiveRecord::Base``; class-level query methods
+(``joins``, ``includes``, ``where``, ``exists?``, ``find_by``, …) build
+:class:`repro.orm.relation.RelationValue` objects and run against the
+in-memory DB.  When a model class is defined, column accessors are
+generated from the schema and their types are registered — the Rails
+metaprogramming that RDL's run-then-check workflow exists to support (§2).
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import QueryEngine
+from repro.orm.relation import (
+    RelationValue,
+    record_to_row,
+    row_to_record,
+    table_name_for_class,
+)
+from repro.rtypes.kinds import Sym
+from repro.runtime.errors import RubyError
+from repro.runtime.objects import (
+    RArray,
+    RClass,
+    RHash,
+    RMethod,
+    RObject,
+    RString,
+    ruby_to_s,
+)
+
+
+def install_activerecord(interp, db) -> None:
+    """Register ``ActiveRecord::Base`` and the relation dispatch handler."""
+    interp.db = db
+    interp.define_class("Table", "Object")
+    base = interp.define_class("ActiveRecord::Base", "Object")
+
+    _define_class_queries(interp, base)
+    _define_associations(interp, base)
+    interp.foreign_handlers.append(_dispatch_relation)
+    interp.class_def_hooks.append(_model_hook)
+
+
+# ---------------------------------------------------------------------------
+# model registration
+# ---------------------------------------------------------------------------
+
+def _inherits(klass: RClass, name: str) -> bool:
+    return any(a.name == name for a in klass.ancestors())
+
+
+def _model_hook(interp, klass: RClass) -> None:
+    if klass.name == "ActiveRecord::Base" or not _inherits(klass, "ActiveRecord::Base"):
+        return
+    table = table_name_for_class(klass.name)
+    schema = interp.db.schema_of(table) if interp.db else None
+    if schema is None:
+        return
+    klass.cvars["@table_name"] = RString(table)
+    for column in schema.columns.values():
+        _define_accessor(interp, klass, column)
+    _define_instance_persistence(interp, klass, table)
+
+
+def _define_accessor(interp, klass: RClass, column) -> None:
+    name = column.name
+
+    def reader(i, recv, args, block, _name=name):
+        return recv.ivars.get("@" + _name)
+
+    def writer(i, recv, args, block, _name=name):
+        recv.ivars["@" + _name] = args[0] if args else None
+        return args[0] if args else None
+
+    if klass.lookup_instance(name) is None or name not in klass.imethods:
+        klass.define(name, RMethod(name, native=reader))
+    klass.define(name + "=", RMethod(name + "=", native=writer))
+    if interp.registry is not None:
+        rtype = column.rtype()
+        interp.registry.annotate(klass.name, name, f"() -> {rtype.to_s()}")
+        interp.registry.annotate(
+            klass.name, name + "=", f"({rtype.to_s()}) -> {rtype.to_s()}",
+            pure="-",
+        )
+        interp.registry.ivar_types.setdefault((klass.name, "@" + name), rtype)
+
+
+def _define_instance_persistence(interp, klass: RClass, table: str) -> None:
+    def save(i, recv, args, block):
+        schema = i.db.schema_of(table)
+        row = record_to_row(recv, schema)
+        existing_id = recv.ivars.get("@id")
+        if existing_id is None:
+            stored = i.db.insert(table, row)
+            recv.ivars["@id"] = stored["id"]
+        else:
+            for stored in i.db.rows[table]:
+                if stored.get("id") == existing_id:
+                    stored.update(row)
+                    stored["id"] = existing_id
+        return True
+
+    def update(i, recv, args, block):
+        attrs = args[0] if args else RHash()
+        for key, value in attrs.pairs():
+            name = key.name if isinstance(key, Sym) else ruby_to_s(key)
+            recv.ivars["@" + name] = value
+        return save(i, recv, args, block)
+
+    def destroy(i, recv, args, block):
+        target = recv.ivars.get("@id")
+        i.db.delete_rows(table, lambda r: r.get("id") == target)
+        return recv
+
+    klass.define("save", RMethod("save", native=save))
+    klass.define("save!", RMethod("save!", native=save))
+    klass.define("update", RMethod("update", native=update))
+    klass.define("update!", RMethod("update!", native=update))
+    klass.define("destroy", RMethod("destroy", native=destroy))
+
+    def initialize(i, recv, args, block):
+        attrs = args[0] if args and isinstance(args[0], RHash) else RHash()
+        for key, value in attrs.pairs():
+            name = key.name if isinstance(key, Sym) else ruby_to_s(key)
+            recv.ivars["@" + name] = value
+        return None
+
+    if klass.lookup_instance("initialize") is None:
+        klass.define("initialize", RMethod("initialize", native=initialize))
+
+
+# ---------------------------------------------------------------------------
+# class-level query methods
+# ---------------------------------------------------------------------------
+
+def _relation_for(interp, klass: RClass) -> RelationValue:
+    table = table_name_for_class(klass.name)
+    if interp.db is None or interp.db.schema_of(table) is None:
+        raise RubyError("ActiveRecordError", f"no table for model {klass.name}")
+    return RelationValue(interp.db, table, model_class=klass)
+
+
+def _define_class_queries(interp, base: RClass) -> None:
+    forward = [
+        "joins", "includes", "where", "not", "exists?", "find", "find_by",
+        "find_by!", "first", "last", "all", "count", "size", "pluck", "order",
+        "limit", "take", "ids", "none", "any?", "empty?", "sum", "minimum",
+        "maximum", "average", "distinct", "select", "delete_all", "destroy_all",
+        "update_all", "find_each", "each", "map", "to_a", "exists_by_sql?",
+        "offset", "group", "reorder", "rewhere", "second", "third", "sole",
+        "pick", "find_or_create_by", "find_or_initialize_by",
+    ]
+    for name in forward:
+        def fwd(i, recv, args, block, _name=name):
+            relation = _relation_for(i, recv)
+            return _relation_call(i, relation, _name, args, block)
+        base.define(name, RMethod(name, native=fwd), static=True)
+
+    def create(i, recv, args, block):
+        relation = _relation_for(i, recv)
+        attrs = args[0] if args and isinstance(args[0], RHash) else RHash()
+        row = {}
+        for key, value in attrs.pairs():
+            name = key.name if isinstance(key, Sym) else ruby_to_s(key)
+            row[name] = value.val if isinstance(value, RString) else value
+        stored = i.db.insert(relation.base_table, row)
+        schema = i.db.schema_of(relation.base_table)
+        return row_to_record(i, recv, schema, stored)
+
+    base.define("create", RMethod("create", native=create), static=True)
+    base.define("create!", RMethod("create!", native=create), static=True)
+
+    def table_name(i, recv, args, block):
+        return RString(table_name_for_class(recv.name))
+
+    base.define("table_name", RMethod("table_name", native=table_name), static=True)
+
+
+def _define_associations(interp, base: RClass) -> None:
+    def declare(i, recv, args, block):
+        if not isinstance(recv, RClass) or not args:
+            return None
+        assoc = args[0]
+        assoc_name = assoc.name if isinstance(assoc, Sym) else ruby_to_s(assoc)
+        owner_table = table_name_for_class(recv.name)
+        from repro.db.engine import pluralize
+
+        assoc_table = pluralize(assoc_name) if not assoc_name.endswith("s") else assoc_name
+        if i.db is not None:
+            i.db.declare_association(owner_table, assoc_table)
+        return None
+
+    for name in ("has_many", "has_one", "belongs_to"):
+        base.define(name, RMethod(name, native=declare), static=True)
+
+
+# ---------------------------------------------------------------------------
+# relation dispatch (runtime behaviour of Table values)
+# ---------------------------------------------------------------------------
+
+def _dispatch_relation(interp, recv, name, args, block, line):
+    if not isinstance(recv, RelationValue):
+        return False, None
+    return True, _relation_call(interp, recv, name, args, block)
+
+
+def _sym_or_str(value) -> str:
+    if isinstance(value, Sym):
+        return value.name
+    if isinstance(value, RString):
+        return value.val
+    return ruby_to_s(value)
+
+
+def _conditions_from(args) -> dict:
+    if not args:
+        return {}
+    conditions = args[0]
+    if not isinstance(conditions, RHash):
+        return {}
+    return _hash_to_conditions(conditions)
+
+
+def _hash_to_conditions(h: RHash) -> dict:
+    out: dict = {}
+    for key, value in h.pairs():
+        key_name = _sym_or_str(key)
+        if isinstance(value, RHash):
+            out[key_name] = _hash_to_conditions(value)
+        elif isinstance(value, RArray):
+            out[key_name] = [_plain(v) for v in value.items]
+        else:
+            out[key_name] = _plain(value)
+    return out
+
+
+def _plain(value):
+    if isinstance(value, RString):
+        return value.val
+    if isinstance(value, Sym):
+        return value.name
+    return value
+
+
+def _relation_call(interp, relation: RelationValue, name: str, args, block):
+    from repro.runtime.corelib.helpers import call_block
+
+    if name == "joins" or name == "includes":
+        out = relation
+        for arg in args:
+            table = _sym_or_str(arg)
+            out = out.with_join(table) if name == "joins" else out.with_include(table)
+        return out
+    if name in ("where", "not"):
+        if args and isinstance(args[0], RString):
+            sql = args[0].val
+            extra = tuple(_plain(a) for a in args[1:])
+            return relation.with_sql(sql, extra)
+        conditions = _conditions_from(args)
+        if name == "not":
+            # negated conditions: wrap per-column
+            rows_matching = conditions
+            return relation.with_sql("__not__", (rows_matching,))
+        return relation.with_conditions(conditions)
+    if name == "exists?":
+        conditions = _conditions_from(args)
+        probe = relation.with_conditions(conditions) if conditions else relation
+        return len(probe.rows()) > 0
+    if name == "find":
+        wanted = _plain(args[0]) if args else None
+        for row in relation.rows():
+            if row.get("id") == wanted:
+                schema = relation.db.schema_of(relation.base_table)
+                return row_to_record(interp, relation.model_class, schema, row)
+        raise RubyError("RecordNotFound", f"no record with id {wanted}")
+    if name in ("find_by", "find_by!"):
+        probe = relation.with_conditions(_conditions_from(args))
+        rows = probe.rows()
+        if rows:
+            schema = relation.db.schema_of(relation.base_table)
+            return row_to_record(interp, relation.model_class, schema, rows[0])
+        if name == "find_by!":
+            raise RubyError("RecordNotFound", "no matching record")
+        return None
+    if name in ("first", "take"):
+        rows = relation.rows()
+        if not rows:
+            return None
+        schema = relation.db.schema_of(relation.base_table)
+        return row_to_record(interp, relation.model_class, schema, rows[0])
+    if name == "last":
+        rows = relation.rows()
+        if not rows:
+            return None
+        schema = relation.db.schema_of(relation.base_table)
+        return row_to_record(interp, relation.model_class, schema, rows[-1])
+    if name in ("count", "size"):
+        return len(relation.rows())
+    if name in ("any?",):
+        return len(relation.rows()) > 0
+    if name in ("empty?", "none?"):
+        return len(relation.rows()) == 0
+    if name == "pluck":
+        column = _sym_or_str(args[0]) if args else "id"
+        out = []
+        for row in relation.rows():
+            value = row.get(column)
+            out.append(RString(value) if isinstance(value, str) else value)
+        return RArray(out)
+    if name == "ids":
+        return RArray([row.get("id") for row in relation.rows()])
+    if name == "order":
+        column = _sym_or_str(args[0]) if args else "id"
+        descending = False
+        if args and isinstance(args[0], RHash):
+            key, direction = args[0].pairs()[0]
+            column = _sym_or_str(key)
+            descending = _sym_or_str(direction) == "desc"
+        return relation.with_order(column, descending)
+    if name == "limit":
+        return relation.with_limit(int(args[0])) if args else relation
+    if name == "offset":
+        rows = relation.rows()  # materialized offset (small data sets)
+        n = int(args[0]) if args else 0
+        schema = relation.db.schema_of(relation.base_table)
+        return RArray([row_to_record(interp, relation.model_class, schema, r)
+                       for r in rows[n:]])
+    if name in ("all", "distinct", "select", "none", "group", "unscope",
+                "readonly", "strict_loading"):
+        return relation
+    if name in ("reorder",):
+        return _relation_call(interp, relation, "order", args, block)
+    if name in ("rewhere",):
+        # Rails semantics: replace previously accumulated conditions
+        from dataclasses import replace as _replace
+
+        cleared = _replace(relation, conditions=(), sql_wheres=())
+        return _relation_call(interp, cleared, "where", args, block)
+    if name in ("second", "third"):
+        rows = relation.rows()
+        index = 1 if name == "second" else 2
+        if len(rows) <= index:
+            return None
+        schema = relation.db.schema_of(relation.base_table)
+        return row_to_record(interp, relation.model_class, schema, rows[index])
+    if name == "sole":
+        rows = relation.rows()
+        if len(rows) != 1:
+            raise RubyError("RecordNotFound" if not rows else "SoleRecordExceeded",
+                            f"expected exactly one row, found {len(rows)}")
+        schema = relation.db.schema_of(relation.base_table)
+        return row_to_record(interp, relation.model_class, schema, rows[0])
+    if name == "pick":
+        column = _sym_or_str(args[0]) if args else "id"
+        rows = relation.rows()
+        if not rows:
+            return None
+        value = rows[0].get(column)
+        return RString(value) if isinstance(value, str) else value
+    if name in ("find_or_create_by", "find_or_initialize_by"):
+        conditions = _conditions_from(args)
+        probe = relation.with_conditions(conditions)
+        rows = probe.rows()
+        schema = relation.db.schema_of(relation.base_table)
+        if rows:
+            return row_to_record(interp, relation.model_class, schema, rows[0])
+        if name == "find_or_create_by":
+            stored = relation.db.insert(relation.base_table, dict(conditions))
+            return row_to_record(interp, relation.model_class, schema, stored)
+        record = RObject(relation.model_class) if relation.model_class else RHash()
+        if isinstance(record, RObject):
+            for key, value in conditions.items():
+                record.ivars["@" + key] = RString(value) if isinstance(value, str) else value
+        return record
+    if name in ("sum", "minimum", "maximum", "average"):
+        column = _sym_or_str(args[0]) if args else "id"
+        values = [row.get(column) or 0 for row in relation.rows()]
+        if name == "sum":
+            return sum(values)
+        if name == "minimum":
+            return min(values) if values else None
+        if name == "maximum":
+            return max(values) if values else None
+        return (sum(values) / len(values)) if values else None
+    if name in ("delete_all", "destroy_all"):
+        engine = QueryEngine(relation.db)
+        conditions = [dict(c) for c in relation.conditions]
+
+        def matches(row):
+            return all(engine._matches(row, c) for c in conditions)
+
+        return relation.db.delete_rows(relation.base_table, matches)
+    if name == "update_all":
+        updates = _conditions_from(args)
+        engine = QueryEngine(relation.db)
+        conditions = [dict(c) for c in relation.conditions]
+        changed = 0
+        for row in relation.db.rows[relation.base_table]:
+            if all(engine._matches(row, c) for c in conditions):
+                row.update(updates)
+                changed += 1
+        return changed
+    if name in ("each", "find_each"):
+        records = relation.records(interp)
+        if block is not None:
+            for record in records:
+                call_block(interp, block, [record])
+            return relation
+        return RArray(records)
+    if name == "map":
+        records = relation.records(interp)
+        if block is not None:
+            return RArray([call_block(interp, block, [r]) for r in records])
+        return RArray(records)
+    if name == "to_a":
+        return RArray(relation.records(interp))
+    if name == "table_name":
+        return RString(relation.base_table)
+    if name in ("is_a?", "kind_of?"):
+        target = args[0] if args else None
+        return isinstance(target, RClass) and target.name in ("Table", "Object")
+    if name == "nil?":
+        return False
+    if name == "inspect" or name == "to_s":
+        return RString(repr(relation))
+    # Sequel-flavored dataset methods are shared by all relations
+    from repro.orm.sequel import _sequel_extra
+
+    handled, value = _sequel_extra(interp, relation, name, args, block)
+    if handled:
+        return value
+    raise RubyError("NoMethodError", f"undefined method '{name}' for relation")

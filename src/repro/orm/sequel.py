@@ -1,0 +1,179 @@
+"""The Sequel-like ORM DSL.
+
+Sequel exposes two styles the paper's Code.org and Journey benchmarks use:
+datasets (``DB[:users].where(...)``) and models (``class Account <
+Sequel::Model``).  Datasets are :class:`RelationValue`s without a model
+class — rows materialize as hashes, matching Sequel's behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.orm.relation import RelationValue, row_to_record, table_name_for_class
+from repro.orm.activerecord import (
+    _conditions_from,
+    _dispatch_relation,
+    _plain,
+    _relation_call,
+    _sym_or_str,
+)
+from repro.rtypes.kinds import Sym
+from repro.runtime.errors import RubyError
+from repro.runtime.objects import RArray, RClass, RHash, RMethod, RString, ruby_to_s
+
+
+class SequelDBValue:
+    """The global ``DB`` handle: ``DB[:users]`` yields a dataset."""
+
+    comprdl_class_name = "Sequel::Database"
+
+    def __init__(self, db):
+        self.db = db
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "#<Sequel::Database>"
+
+
+def install_sequel(interp, db) -> None:
+    """Register ``Sequel::Model``, ``Sequel::Dataset`` and the ``DB`` handle."""
+    interp.define_class("Sequel::Dataset", "Object")
+    interp.define_class("Sequel::Database", "Object")
+    model = interp.define_class("Sequel::Model", "Object")
+    interp.consts["DB"] = SequelDBValue(db)
+
+    _define_model_queries(interp, model)
+    interp.foreign_handlers.append(_dispatch_sequel)
+    interp.class_def_hooks.append(_sequel_model_hook)
+
+
+def _inherits(klass: RClass, name: str) -> bool:
+    return any(a.name == name for a in klass.ancestors())
+
+
+def _sequel_model_hook(interp, klass: RClass) -> None:
+    if klass.name == "Sequel::Model" or not _inherits(klass, "Sequel::Model"):
+        return
+    from repro.orm.activerecord import _define_accessor, _define_instance_persistence
+
+    table = table_name_for_class(klass.name)
+    schema = interp.db.schema_of(table) if interp.db else None
+    if schema is None:
+        return
+    klass.cvars["@table_name"] = RString(table)
+    for column in schema.columns.values():
+        _define_accessor(interp, klass, column)
+    _define_instance_persistence(interp, klass, table)
+
+
+def _define_model_queries(interp, model: RClass) -> None:
+    forward = ["where", "exclude", "first", "last", "all", "count", "order",
+               "limit", "each", "map", "to_a", "find", "[]", "dataset",
+               "any?", "empty?", "max", "min", "sum_of", "paged_each"]
+    for name in forward:
+        def fwd(i, recv, args, block, _name=name):
+            table = table_name_for_class(recv.name)
+            if i.db is None or i.db.schema_of(table) is None:
+                raise RubyError("SequelError", f"no table for model {recv.name}")
+            relation = RelationValue(i.db, table, model_class=recv)
+            return _sequel_call(i, relation, _name, args, block)
+        model.define(name, RMethod(name, native=fwd), static=True)
+
+    def create(i, recv, args, block):
+        table = table_name_for_class(recv.name)
+        attrs = args[0] if args and isinstance(args[0], RHash) else RHash()
+        row = {}
+        for key, value in attrs.pairs():
+            name = key.name if isinstance(key, Sym) else ruby_to_s(key)
+            row[name] = value.val if isinstance(value, RString) else value
+        stored = i.db.insert(table, row)
+        return row_to_record(i, recv, i.db.schema_of(table), stored)
+
+    model.define("create", RMethod("create", native=create), static=True)
+    model.define("insert", RMethod("insert", native=create), static=True)
+
+
+def _dispatch_sequel(interp, recv, name, args, block, line):
+    if isinstance(recv, SequelDBValue):
+        if name == "[]":
+            table = _sym_or_str(args[0]) if args else ""
+            if recv.db.schema_of(table) is None:
+                raise RubyError("SequelError", f"no such table {table!r}")
+            return True, RelationValue(recv.db, table, model_class=None)
+        if name == "tables":
+            return True, RArray([Sym(t) for t in recv.db.tables])
+        if name in ("inspect", "to_s"):
+            return True, RString("#<Sequel::Database>")
+        raise RubyError("NoMethodError", f"undefined method '{name}' for DB")
+    if isinstance(recv, RelationValue) and recv.model_class is None:
+        return True, _sequel_call(interp, recv, name, args, block)
+    return False, None
+
+
+def _sequel_call(interp, relation: RelationValue, name: str, args, block):
+    """Sequel-specific dataset methods, falling back to the shared core."""
+    handled, value = _sequel_extra(interp, relation, name, args, block)
+    if handled:
+        return value
+    return _relation_call(interp, relation, name, args, block)
+
+
+def _sequel_extra(interp, relation: RelationValue, name: str, args, block):
+    """The dataset methods Sequel adds on top of the shared relation core.
+
+    Returns ``(handled, value)`` so the ActiveRecord dispatcher can also
+    consult it without recursing.
+    """
+    if name == "exclude":
+        conditions = _conditions_from(args)
+        return True, relation.with_sql("__not__", (conditions,))
+    if name == "[]":
+        probe = relation.with_conditions(_conditions_from(args))
+        rows = probe.rows()
+        if not rows:
+            return True, None
+        schema = relation.db.schema_of(relation.base_table)
+        return True, row_to_record(interp, relation.model_class, schema, rows[0])
+    if name == "get":
+        column = _sym_or_str(args[0]) if args else "id"
+        rows = relation.rows()
+        if not rows:
+            return True, None
+        value = rows[0].get(column)
+        return True, (RString(value) if isinstance(value, str) else value)
+    if name == "select_map":
+        column = _sym_or_str(args[0]) if args else "id"
+        out = []
+        for row in relation.rows():
+            value = row.get(column)
+            out.append(RString(value) if isinstance(value, str) else value)
+        return True, RArray(out)
+    if name == "insert":
+        attrs = args[0] if args and isinstance(args[0], RHash) else RHash()
+        row = {}
+        for key, value in attrs.pairs():
+            key_name = _sym_or_str(key)
+            row[key_name] = _plain(value)
+        stored = relation.db.insert(relation.base_table, row)
+        return True, stored.get("id")
+    if name == "update" and relation.model_class is None:
+        updates = _conditions_from(args)
+        from repro.db.engine import QueryEngine
+
+        engine = QueryEngine(relation.db)
+        conditions = [dict(c) for c in relation.conditions]
+        changed = 0
+        for row in relation.db.rows[relation.base_table]:
+            if all(engine._matches(row, c) for c in conditions):
+                row.update(updates)
+                changed += 1
+        return True, changed
+    if name == "delete":
+        return True, _relation_call(interp, relation, "delete_all", args, block)
+    if name == "paged_each":
+        return True, _relation_call(interp, relation, "each", args, block)
+    if name == "sum_of":
+        return True, _relation_call(interp, relation, "sum", args, block)
+    if name == "max":
+        return True, _relation_call(interp, relation, "maximum", args, block)
+    if name == "min":
+        return True, _relation_call(interp, relation, "minimum", args, block)
+    return False, None

@@ -1,0 +1,73 @@
+"""The RDL type language used by CompRDL.
+
+This package implements the static types of RDL as described in the paper
+*Type-Level Computations for Ruby Libraries* (PLDI 2019): nominal types,
+singleton types, union types, generic types, finite hash types, tuple types,
+const string types, optional/vararg argument types, type variables, and the
+dynamic types ``%any`` / ``%bot``.  It also provides the class hierarchy,
+the subtyping relation (with constraint recording used for weak updates),
+generic instantiation, and a parser for RDL-style type signature strings,
+including comp type positions delimited by ``«...»`` (or the ASCII form
+``{| ... |}``).
+"""
+
+from repro.rtypes.kinds import ClassRef, Sym
+from repro.rtypes.core import (
+    AnyType,
+    BotType,
+    NominalType,
+    RType,
+    SingletonType,
+    UnionType,
+    make_union,
+)
+from repro.rtypes.containers import (
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    TupleType,
+)
+from repro.rtypes.methods import (
+    BoundArg,
+    CompExpr,
+    MethodType,
+    OptionalArg,
+    VarargArg,
+)
+from repro.rtypes.vars import VarType
+from repro.rtypes.hierarchy import ClassHierarchy, default_hierarchy
+from repro.rtypes.subtype import ConstraintLog, join, subtype
+from repro.rtypes.instantiate import instantiate, unify_args
+from repro.rtypes.parser import TypeParseError, parse_method_type, parse_type
+
+__all__ = [
+    "AnyType",
+    "BotType",
+    "BoundArg",
+    "ClassHierarchy",
+    "ClassRef",
+    "CompExpr",
+    "ConstraintLog",
+    "ConstStringType",
+    "FiniteHashType",
+    "GenericType",
+    "MethodType",
+    "NominalType",
+    "OptionalArg",
+    "RType",
+    "SingletonType",
+    "Sym",
+    "TupleType",
+    "TypeParseError",
+    "UnionType",
+    "VarType",
+    "VarargArg",
+    "default_hierarchy",
+    "instantiate",
+    "join",
+    "make_union",
+    "parse_method_type",
+    "parse_type",
+    "subtype",
+    "unify_args",
+]

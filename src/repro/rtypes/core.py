@@ -1,0 +1,173 @@
+"""Core scalar types: nominal, singleton, union, ``%any`` and ``%bot``.
+
+Container types (generics, finite hashes, tuples, const strings) live in
+:mod:`repro.rtypes.containers`; method types in :mod:`repro.rtypes.methods`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.rtypes.kinds import singleton_base_class
+
+
+class RType:
+    """Base class of every RDL type.
+
+    Types are *structural values*: two types compare equal when they denote
+    the same set of values.  The mutable container types (tuples, finite
+    hashes, const strings) override identity-sensitive behaviour to support
+    the paper's weak updates (§4), but still compare structurally.
+    """
+
+    def to_s(self) -> str:
+        """Render the type in RDL's surface syntax."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.to_s()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.to_s()}>"
+
+    # Equality is defined per subclass via a key tuple.
+    def _key(self) -> object:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, RType):
+            return NotImplemented
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def is_comp(self) -> bool:
+        """Whether the type (or a component of it) is a comp expression."""
+        return False
+
+
+class NominalType(RType):
+    """A class name used as a type, e.g. ``Integer`` or ``User``.
+
+    The pseudo-class ``%bool`` is modelled as a nominal type that the default
+    class hierarchy makes the superclass of ``TrueClass`` and ``FalseClass``.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _key(self) -> object:
+        return self.name
+
+    def to_s(self) -> str:
+        return self.name
+
+
+class SingletonType(RType):
+    """The type of exactly one value, e.g. ``:emails``, ``2``, or ``User``.
+
+    The paper uses singleton types for symbols, numerics, booleans, ``nil``
+    and classes; const strings have their own type because Ruby strings are
+    mutable (see :class:`repro.rtypes.containers.ConstStringType`).
+    """
+
+    __slots__ = ("value", "base_name")
+
+    def __init__(self, value: object):
+        self.value = value
+        self.base_name = singleton_base_class(value)
+
+    def _key(self) -> object:
+        # bool is an int subtype in Python: disambiguate True from 1.
+        return (type(self.value).__name__, self.value)
+
+    def to_s(self) -> str:
+        if self.value is None:
+            return "nil"
+        if self.value is True:
+            return "true"
+        if self.value is False:
+            return "false"
+        return str(self.value)
+
+
+class AnyType(RType):
+    """RDL's dynamic type ``%any``: compatible with every type, both ways."""
+
+    __slots__ = ()
+
+    def _key(self) -> object:
+        return ()
+
+    def to_s(self) -> str:
+        return "%any"
+
+
+class BotType(RType):
+    """The empty type ``%bot``; subtype of everything."""
+
+    __slots__ = ()
+
+    def _key(self) -> object:
+        return ()
+
+    def to_s(self) -> str:
+        return "%bot"
+
+
+class UnionType(RType):
+    """A union ``t1 or t2 or ...`` of two or more types.
+
+    Use :func:`make_union` to build unions: it flattens nested unions,
+    removes duplicates and collapses single-member unions.
+    """
+
+    __slots__ = ("types",)
+
+    def __init__(self, types: tuple[RType, ...]):
+        if len(types) < 2:
+            raise ValueError("a union needs at least two member types")
+        self.types = types
+
+    def _key(self) -> object:
+        return frozenset(self.types)
+
+    def to_s(self) -> str:
+        return " or ".join(t.to_s() for t in self.types)
+
+
+def make_union(types: Iterable[RType]) -> RType:
+    """Construct the canonical union of ``types``.
+
+    Flattens nested unions, deduplicates members (preserving first-seen
+    order), and returns the single member unchanged for singleton unions.
+    An empty iterable yields ``%bot``.
+    """
+    flat: list[RType] = []
+    seen: set[RType] = set()
+
+    def add(t: RType) -> None:
+        if isinstance(t, UnionType):
+            for member in t.types:
+                add(member)
+            return
+        if isinstance(t, BotType):
+            return
+        if t not in seen:
+            seen.add(t)
+            flat.append(t)
+
+    for t in types:
+        add(t)
+    if not flat:
+        return BotType()
+    if len(flat) == 1:
+        return flat[0]
+    if any(isinstance(t, AnyType) for t in flat):
+        return AnyType()
+    return UnionType(tuple(flat))

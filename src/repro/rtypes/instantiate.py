@@ -1,0 +1,126 @@
+"""Generic instantiation: substituting and inferring type variables.
+
+Library signatures such as ``Hash#[] : (k) → v`` mention the receiver's
+generic parameters.  At a call, the checker binds those variables from the
+receiver type (``Hash<Symbol, String>`` binds ``k``/``v``) and, for any
+variables still free, unifies them against the actual argument types.
+"""
+
+from __future__ import annotations
+
+from repro.rtypes.containers import (
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    TupleType,
+)
+from repro.rtypes.core import RType, UnionType, make_union
+from repro.rtypes.hierarchy import ClassHierarchy
+from repro.rtypes.methods import BoundArg, CompExpr, MethodType, OptionalArg, VarargArg
+from repro.rtypes.subtype import join
+from repro.rtypes.vars import VarType
+
+
+def instantiate(t: RType, bindings: dict[str, RType]) -> RType:
+    """Substitute ``bindings`` for type variables throughout ``t``.
+
+    Mutable container types are rebuilt (fresh objects) only when a
+    substitution actually occurs, so shared type objects keep their
+    identity — important for weak updates.
+    """
+    if isinstance(t, VarType):
+        return bindings.get(t.name, t)
+    if isinstance(t, UnionType):
+        return make_union([instantiate(m, bindings) for m in t.types])
+    if isinstance(t, GenericType):
+        params = [instantiate(p, bindings) for p in t.params]
+        if params == list(t.params):
+            return t
+        return GenericType(t.base, params)
+    if isinstance(t, TupleType):
+        elts = [instantiate(e, bindings) for e in t.elts]
+        if elts == t.elts:
+            return t
+        return TupleType(elts)
+    if isinstance(t, FiniteHashType):
+        elts = {k: instantiate(v, bindings) for k, v in t.elts.items()}
+        rest = instantiate(t.rest, bindings) if t.rest else None
+        if elts == t.elts and rest == t.rest:
+            return t
+        return FiniteHashType(elts, rest, t.optional_keys)
+    if isinstance(t, MethodType):
+        return MethodType(
+            [instantiate(a, bindings) for a in t.args],
+            instantiate(t.block, bindings) if t.block else None,
+            instantiate(t.ret, bindings),
+        )
+    if isinstance(t, OptionalArg):
+        return OptionalArg(instantiate(t.inner, bindings))
+    if isinstance(t, VarargArg):
+        return VarargArg(instantiate(t.inner, bindings))
+    if isinstance(t, BoundArg):
+        return BoundArg(t.var, instantiate(t.bound, bindings))
+    if isinstance(t, CompExpr):
+        return t
+    return t
+
+
+def receiver_bindings(receiver: RType, declared_params: list[str]) -> dict[str, RType]:
+    """Bind a generic class's parameters from a receiver type.
+
+    ``Hash<Symbol, String>`` with declared params ``["k", "v"]`` yields
+    ``{k: Symbol, v: String}``.  Tuples and finite hashes bind via their
+    promoted forms; other receivers leave the variables free.
+    """
+    if isinstance(receiver, TupleType) and declared_params:
+        return {declared_params[0]: make_union(receiver.elts) if receiver.elts else receiver.promoted().params[0]}
+    if isinstance(receiver, FiniteHashType) and len(declared_params) >= 2:
+        return {
+            declared_params[0]: receiver.key_type(),
+            declared_params[1]: receiver.value_type(),
+        }
+    if isinstance(receiver, GenericType):
+        return dict(zip(declared_params, receiver.params))
+    return {}
+
+
+def unify_args(
+    formals: list[RType],
+    actuals: list[RType],
+    hierarchy: ClassHierarchy,
+    bindings: dict[str, RType] | None = None,
+) -> dict[str, RType]:
+    """Infer bindings for variables still free in ``formals`` from ``actuals``.
+
+    A variable bound more than once is widened with :func:`join`.  The
+    matcher is deliberately first-order: it looks one container level deep,
+    which covers every core-library signature in the annotation set.
+    """
+    bindings = dict(bindings or {})
+
+    def walk(formal: RType, actual: RType) -> None:
+        if isinstance(formal, VarType):
+            if formal.name in bindings:
+                bindings[formal.name] = join(bindings[formal.name], actual, hierarchy)
+            else:
+                bindings[formal.name] = actual
+            return
+        if isinstance(formal, OptionalArg):
+            walk(formal.inner, actual)
+            return
+        if isinstance(formal, VarargArg):
+            walk(formal.inner, actual)
+            return
+        if isinstance(formal, GenericType):
+            if isinstance(actual, GenericType) and actual.base == formal.base:
+                for fp, ap in zip(formal.params, actual.params):
+                    walk(fp, ap)
+            elif isinstance(actual, TupleType) and formal.base == "Array":
+                walk(formal.params[0], make_union(actual.elts) if actual.elts else actual.promoted().params[0])
+            elif isinstance(actual, FiniteHashType) and formal.base == "Hash":
+                walk(formal.params[0], actual.key_type())
+                walk(formal.params[1], actual.value_type())
+
+    for formal, actual in zip(formals, actuals):
+        walk(formal, actual)
+    return bindings

@@ -1,0 +1,66 @@
+"""Value kinds that singleton types can range over.
+
+Singleton types carry an underlying value.  Most values are plain Python
+scalars (``int``, ``float``, ``bool``, ``None``), but two kinds need their
+own wrappers so that the type layer does not depend on the interpreter's
+object model:
+
+* :class:`Sym` — a Ruby symbol such as ``:emails``;
+* :class:`ClassRef` — a reference to a class used as a value, e.g. the
+  receiver of ``User.exists?`` has the singleton type of the ``User`` class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Sym:
+    """An interned Ruby symbol (``:name``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f":{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Sym({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class ClassRef:
+    """A class used as a first-class value (e.g. the ``User`` in ``User.joins``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"ClassRef({self.name!r})"
+
+
+def singleton_base_class(value: object) -> str:
+    """Return the name of the class that a singleton value belongs to.
+
+    This mirrors Ruby's ``value.class``: ``1`` is an ``Integer``, ``:foo``
+    a ``Symbol``, ``true`` a ``TrueClass`` and so on.
+    """
+    if value is None:
+        return "NilClass"
+    if value is True:
+        return "TrueClass"
+    if value is False:
+        return "FalseClass"
+    if isinstance(value, Sym):
+        return "Symbol"
+    if isinstance(value, ClassRef):
+        return "Class"
+    if isinstance(value, int):
+        return "Integer"
+    if isinstance(value, float):
+        return "Float"
+    if isinstance(value, str):
+        return "String"
+    raise TypeError(f"value {value!r} cannot be a singleton type")

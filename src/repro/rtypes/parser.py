@@ -1,0 +1,382 @@
+"""Parser for RDL-style type signature strings.
+
+Accepts the surface syntax used throughout the paper::
+
+    (String, String) -> %bool
+    (t<:Symbol) -> «if t.is_a?(Singleton) ... end»
+    (k) -> v
+    ({ name: String, age: Integer }) -> Boolean
+    ([Integer, String]) -> Array<Integer or String>
+    (t<:«comp») -> «tself»
+
+Comp positions are delimited by guillemets ``«...»`` or the ASCII form
+``{| ... |}``; an optional ``/Bound`` suffix declares the conventional
+fallback type (default ``Object``), mirroring λC's ``e/A``.
+"""
+
+from __future__ import annotations
+
+from repro.rtypes.containers import (
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    TupleType,
+)
+from repro.rtypes.core import AnyType, BotType, NominalType, RType, SingletonType, make_union
+from repro.rtypes.kinds import Sym
+from repro.rtypes.methods import BoundArg, CompExpr, MethodType, OptionalArg, VarargArg
+from repro.rtypes.vars import VarType
+
+
+class TypeParseError(Exception):
+    """Raised when a type signature string is malformed."""
+
+
+_PUNCT = ["->", "→", "<:", "=>", "**", "(", ")", "{", "}", "[", "]", "<", ">", ",", "?", "*", "/", ":"]
+
+
+class _Lexer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.tokens: list[tuple[str, object]] = []
+        self._lex()
+
+    def _error(self, message: str) -> TypeParseError:
+        return TypeParseError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def _lex(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+                continue
+            if ch == "«":
+                self._lex_comp("«", "»")
+                continue
+            if text.startswith("{|", self.pos):
+                self._lex_comp("{|", "|}")
+                continue
+            if ch == "%":
+                self._lex_percent()
+                continue
+            if ch == ":" and self.pos + 1 < len(text) and (text[self.pos + 1].isalpha() or text[self.pos + 1] == "_"):
+                self._lex_symbol()
+                continue
+            if ch in "'\"":
+                self._lex_string(ch)
+                continue
+            if ch.isdigit() or (ch == "-" and self.pos + 1 < len(text) and text[self.pos + 1].isdigit()):
+                self._lex_number()
+                continue
+            if ch.isalpha() or ch == "_":
+                self._lex_word()
+                continue
+            for punct in _PUNCT:
+                if text.startswith(punct, self.pos):
+                    # `<:` is the bound operator only after a variable name;
+                    # elsewhere `<` opens generics (e.g. Array<:a>)
+                    if punct == "<:" and (not self.tokens or self.tokens[-1][0] != "ident"):
+                        continue
+                    self.tokens.append(("punct", "->" if punct == "→" else punct))
+                    self.pos += len(punct)
+                    break
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_comp(self, open_delim: str, close_delim: str) -> None:
+        depth = 1
+        start = self.pos + len(open_delim)
+        i = start
+        text = self.text
+        while i < len(text):
+            if text.startswith(open_delim, i):
+                depth += 1
+                i += len(open_delim)
+            elif text.startswith(close_delim, i):
+                depth -= 1
+                if depth == 0:
+                    self.tokens.append(("comp", text[start:i]))
+                    self.pos = i + len(close_delim)
+                    return
+                i += len(close_delim)
+            else:
+                i += 1
+        raise self._error(f"unterminated comp expression (missing {close_delim})")
+
+    def _lex_percent(self) -> None:
+        for name in ("%any", "%bool", "%bot"):
+            if self.text.startswith(name, self.pos):
+                self.tokens.append(("percent", name))
+                self.pos += len(name)
+                return
+        raise self._error("unknown % type")
+
+    def _lex_symbol(self) -> None:
+        i = self.pos + 1
+        text = self.text
+        while i < len(text) and (text[i].isalnum() or text[i] in "_?!"):
+            i += 1
+        self.tokens.append(("symbol", text[self.pos + 1:i]))
+        self.pos = i
+
+    def _lex_string(self, quote: str) -> None:
+        i = self.pos + 1
+        text = self.text
+        chars: list[str] = []
+        while i < len(text) and text[i] != quote:
+            if text[i] == "\\" and i + 1 < len(text):
+                chars.append(text[i + 1])
+                i += 2
+            else:
+                chars.append(text[i])
+                i += 1
+        if i >= len(text):
+            raise self._error("unterminated string literal")
+        self.tokens.append(("string", "".join(chars)))
+        self.pos = i + 1
+
+    def _lex_number(self) -> None:
+        i = self.pos
+        text = self.text
+        if text[i] == "-":
+            i += 1
+        while i < len(text) and text[i].isdigit():
+            i += 1
+        is_float = False
+        if i < len(text) and text[i] == "." and i + 1 < len(text) and text[i + 1].isdigit():
+            is_float = True
+            i += 1
+            while i < len(text) and text[i].isdigit():
+                i += 1
+        literal = text[self.pos:i]
+        self.tokens.append(("number", float(literal) if is_float else int(literal)))
+        self.pos = i
+
+    def _lex_word(self) -> None:
+        i = self.pos
+        text = self.text
+        while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+            i += 1
+        # Allow namespaced constants: ActiveRecord::Base
+        while text.startswith("::", i):
+            j = i + 2
+            while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            i = j
+        word = text[self.pos:i]
+        kind = "const" if word[0].isupper() else "ident"
+        self.tokens.append((kind, word))
+        self.pos = i
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _Lexer(text).tokens
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+    def peek(self) -> tuple[str, object] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> tuple[str, object]:
+        token = self.peek()
+        if token is None:
+            raise TypeParseError(f"unexpected end of type in {self.text!r}")
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, value: object = None) -> bool:
+        token = self.peek()
+        if token and token[0] == kind and (value is None or token[1] == value):
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, kind: str, value: object = None) -> object:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise TypeParseError(
+                f"expected {value or kind}, found {token[1]!r} in {self.text!r}"
+            )
+        return token[1]
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    # -- grammar -----------------------------------------------------------
+    def method_type(self) -> MethodType:
+        self.expect("punct", "(")
+        args: list[RType] = []
+        if not self.accept("punct", ")"):
+            while True:
+                args.append(self.arg_spec())
+                if self.accept("punct", ")"):
+                    break
+                self.expect("punct", ",")
+        block: MethodType | None = None
+        if self.accept("punct", "{"):
+            block = self.method_type()
+            self.expect("punct", "}")
+        self.expect("punct", "->")
+        ret = self.type_or_comp()
+        return MethodType(args, block, ret)
+
+    def arg_spec(self) -> RType:
+        if self.accept("punct", "?"):
+            return OptionalArg(self._bound_or_type())
+        if self.accept("punct", "*"):
+            return VarargArg(self._bound_or_type())
+        return self._bound_or_type()
+
+    def _bound_or_type(self) -> RType:
+        token = self.peek()
+        if token and token[0] == "ident":
+            following = self.tokens[self.index + 1] if self.index + 1 < len(self.tokens) else None
+            if following == ("punct", "<:"):
+                var = str(self.next()[1])
+                self.expect("punct", "<:")
+                return BoundArg(var, self.type_or_comp())
+        return self.type_or_comp()
+
+    def type_or_comp(self) -> RType:
+        token = self.peek()
+        if token and token[0] == "comp":
+            code = str(self.next()[1])
+            bound: RType = NominalType("Object")
+            if self.accept("punct", "/"):
+                bound = self.union_type()
+            return CompExpr(code, bound)
+        return self.union_type()
+
+    def union_type(self) -> RType:
+        members = [self.primary_type()]
+        while True:
+            token = self.peek()
+            if token and token[0] == "ident" and token[1] == "or":
+                self.next()
+                members.append(self.primary_type())
+            else:
+                break
+        if len(members) == 1:
+            return members[0]
+        return make_union(members)
+
+    def primary_type(self) -> RType:
+        token = self.next()
+        kind, value = token
+        if kind == "percent":
+            if value == "%any":
+                return AnyType()
+            if value == "%bot":
+                return BotType()
+            return NominalType("Boolean")
+        if kind == "symbol":
+            return SingletonType(Sym(str(value)))
+        if kind == "number":
+            return SingletonType(value)
+        if kind == "string":
+            return ConstStringType(str(value))
+        if kind == "comp":
+            bound: RType = NominalType("Object")
+            if self.accept("punct", "/"):
+                bound = self.union_type()
+            return CompExpr(str(value), bound)
+        if kind == "const":
+            name = str(value)
+            if self.accept("punct", "<"):
+                params = [self.type_or_comp()]
+                while self.accept("punct", ","):
+                    params.append(self.type_or_comp())
+                self.expect("punct", ">")
+                return GenericType(name, params)
+            return NominalType(name)
+        if kind == "ident":
+            name = str(value)
+            if name == "nil":
+                return SingletonType(None)
+            if name == "true":
+                return SingletonType(True)
+            if name == "false":
+                return SingletonType(False)
+            if name == "self":
+                return VarType("self")
+            return VarType(name)
+        if kind == "punct" and value == "{":
+            return self.finite_hash()
+        if kind == "punct" and value == "[":
+            return self.tuple_type()
+        if kind == "punct" and value == "(":
+            inner = self.type_or_comp()
+            self.expect("punct", ")")
+            return inner
+        raise TypeParseError(f"unexpected token {value!r} in {self.text!r}")
+
+    def finite_hash(self) -> FiniteHashType:
+        elts: dict[object, RType] = {}
+        rest: RType | None = None
+        optional: set[object] = set()
+        if self.accept("punct", "}"):
+            return FiniteHashType(elts)
+        while True:
+            if self.accept("punct", "**"):
+                rest = self.type_or_comp()
+            else:
+                key = self._hash_key()
+                is_optional = self.accept("punct", "?")
+                value = self.type_or_comp()
+                elts[key] = value
+                if is_optional:
+                    optional.add(key)
+            if self.accept("punct", "}"):
+                break
+            self.expect("punct", ",")
+        return FiniteHashType(elts, rest, optional)
+
+    def _hash_key(self) -> object:
+        token = self.next()
+        kind, value = token
+        if kind in ("ident", "const"):
+            self.expect("punct", ":")
+            return Sym(str(value))
+        if kind == "symbol":
+            self.expect("punct", "=>")
+            return Sym(str(value))
+        if kind == "string":
+            if not self.accept("punct", "=>"):
+                self.expect("punct", ":")
+            return str(value)
+        raise TypeParseError(f"bad finite hash key {value!r} in {self.text!r}")
+
+    def tuple_type(self) -> TupleType:
+        elts: list[RType] = []
+        if self.accept("punct", "]"):
+            return TupleType(elts)
+        while True:
+            elts.append(self.type_or_comp())
+            if self.accept("punct", "]"):
+                break
+            self.expect("punct", ",")
+        return TupleType(elts)
+
+
+def parse_method_type(text: str) -> MethodType:
+    """Parse a full method signature string into a :class:`MethodType`."""
+    parser = _Parser(text)
+    result = parser.method_type()
+    if not parser.at_end():
+        raise TypeParseError(f"trailing tokens after method type in {text!r}")
+    return result
+
+
+def parse_type(text: str) -> RType:
+    """Parse a standalone type (no argument list / arrow)."""
+    parser = _Parser(text)
+    result = parser.type_or_comp()
+    if not parser.at_end():
+        raise TypeParseError(f"trailing tokens after type in {text!r}")
+    return result

@@ -1,0 +1,27 @@
+"""Type variables for generic library signatures (``k``, ``v``, ``a`` ...)."""
+
+from __future__ import annotations
+
+from repro.rtypes.core import RType
+
+
+class VarType(RType):
+    """A type variable, bound either by a generic class or a comp signature.
+
+    In ``type Hash, :[], "(k) → v"`` the variables ``k`` and ``v`` are the
+    hash's key and value parameters; at a call they are instantiated from
+    the receiver's ``Hash<K, V>`` type.  In comp signatures such as
+    ``(t<:Symbol) → «...»`` the variable ``t`` is bound to the *type* of the
+    actual argument and is visible to the type-level code.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _key(self) -> object:
+        return self.name
+
+    def to_s(self) -> str:
+        return self.name

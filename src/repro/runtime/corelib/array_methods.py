@@ -1,0 +1,777 @@
+"""Array native methods.
+
+Array is the largest annotated library in the paper (114 comp type
+definitions).  Tuple types ride on these methods: ``Array#first`` returns
+the type of a tuple's first element, ``Array#[]`` mirrors ``Hash#[]``, and
+the mutators (``push``, ``[]=``, ``map!``, …) trigger weak updates (§2.2).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.errors import RubyError
+from repro.runtime.corelib.helpers import (
+    arg_or,
+    as_int,
+    call_block,
+    compare_values,
+    eq,
+    expect_block,
+    native,
+    sort_key,
+)
+from repro.runtime.objects import RArray, RBlock, RHash, RString, ruby_to_s
+from repro.runtime.interp import BreakSignal
+
+
+def _a(recv) -> list:
+    if not isinstance(recv, RArray):
+        raise RubyError("TypeError", "Array method on non-array")
+    return recv.items
+
+
+def _wrap_iter(fn):
+    """Run an iterator body, converting ``break`` into its value."""
+    def wrapped(i, recv, args, block):
+        try:
+            return fn(i, recv, args, block)
+        except BreakSignal as brk:
+            return brk.value
+    return wrapped
+
+
+def install_array(interp) -> None:
+    array = interp.classes["Array"]
+
+    # -- element access -------------------------------------------------------
+    native(array, "[]", _index)
+    native(array, "slice", _index)
+    native(array, "[]=", _index_set)
+    native(array, "at", lambda i, r, a, b: _at(_a(r), as_int(arg_or(a, 0))))
+    native(array, "fetch", _fetch)
+    native(array, "dig", _dig)
+    native(array, "first", _first)
+    native(array, "last", _last)
+    native(array, "values_at", lambda i, r, a, b: RArray([_at(_a(r), as_int(x)) for x in a]))
+    native(array, "assoc", _assoc)
+    native(array, "sample", lambda i, r, a, b: _a(r)[0] if _a(r) else None)  # deterministic
+
+    # -- size -------------------------------------------------------------------
+    native(array, "length", lambda i, r, a, b: len(_a(r)))
+    native(array, "size", lambda i, r, a, b: len(_a(r)))
+    native(array, "count", _count)
+    native(array, "empty?", lambda i, r, a, b: len(_a(r)) == 0)
+
+    # -- mutation -----------------------------------------------------------------
+    native(array, "push", _push)
+    native(array, "append", _push)
+    native(array, "<<", lambda i, r, a, b: (_a(r).append(arg_or(a, 0)), r)[1])
+    native(array, "pop", lambda i, r, a, b: _a(r).pop() if _a(r) else None)
+    native(array, "shift", lambda i, r, a, b: _a(r).pop(0) if _a(r) else None)
+    native(array, "unshift", _unshift)
+    native(array, "prepend", _unshift)
+    native(array, "insert", _insert)
+    native(array, "delete", _delete)
+    native(array, "delete_at", _delete_at)
+    native(array, "delete_if", _wrap_iter(_delete_if))
+    native(array, "keep_if", _wrap_iter(_keep_if))
+    native(array, "clear", lambda i, r, a, b: (_a(r).clear(), r)[1])
+    native(array, "replace", lambda i, r, a, b: (_replace(r, arg_or(a, 0)), r)[1])
+    native(array, "fill", _fill)
+    native(array, "concat", _concat)
+
+    # -- copies ---------------------------------------------------------------------
+    native(array, "compact", lambda i, r, a, b: RArray([x for x in _a(r) if x is not None]))
+    native(array, "compact!", _compact_bang)
+    native(array, "flatten", lambda i, r, a, b: RArray(_flatten(_a(r))))
+    native(array, "flatten!", lambda i, r, a, b: (_replace(r, RArray(_flatten(_a(r)))), r)[1])
+    native(array, "uniq", _wrap_iter(_uniq))
+    native(array, "uniq!", _wrap_iter(_uniq_bang))
+    native(array, "reverse", lambda i, r, a, b: RArray(list(reversed(_a(r)))))
+    native(array, "reverse!", lambda i, r, a, b: (_a(r).reverse(), r)[1])
+    native(array, "rotate", _rotate)
+    native(array, "dup", lambda i, r, a, b: RArray(list(_a(r))))
+    native(array, "clone", lambda i, r, a, b: RArray(list(_a(r))))
+    native(array, "+", lambda i, r, a, b: RArray(_a(r) + _a(arg_or(a, 0))))
+    native(array, "-", lambda i, r, a, b: RArray([x for x in _a(r) if not _contains(_a(arg_or(a, 0)), x)]))
+    native(array, "*", _times_or_join)
+    native(array, "&", lambda i, r, a, b: RArray(_uniq_list([x for x in _a(r) if _contains(_a(arg_or(a, 0)), x)])))
+    native(array, "|", lambda i, r, a, b: RArray(_uniq_list(_a(r) + _a(arg_or(a, 0)))))
+
+    # -- ordering -----------------------------------------------------------------------
+    native(array, "sort", _wrap_iter(_sort))
+    native(array, "sort!", _wrap_iter(_sort_bang))
+    native(array, "sort_by", _wrap_iter(_sort_by))
+    native(array, "sort_by!", _wrap_iter(_sort_by_bang))
+    native(array, "min", _wrap_iter(_min))
+    native(array, "max", _wrap_iter(_max))
+    native(array, "min_by", _wrap_iter(_min_by))
+    native(array, "max_by", _wrap_iter(_max_by))
+    native(array, "minmax", lambda i, r, a, b: RArray([_min(i, r, a, b), _max(i, r, a, b)]))
+    native(array, "sum", _sum)
+
+    # -- search -------------------------------------------------------------------------
+    native(array, "include?", lambda i, r, a, b: _contains(_a(r), arg_or(a, 0)))
+    native(array, "index", _wrap_iter(_find_index))
+    native(array, "find_index", _wrap_iter(_find_index))
+    native(array, "rindex", _rindex)
+    native(array, "find", _wrap_iter(_find))
+    native(array, "detect", _wrap_iter(_find))
+    native(array, "bsearch", _wrap_iter(_find))
+
+    # -- iteration ---------------------------------------------------------------------
+    native(array, "each", _wrap_iter(_each))
+    native(array, "each_with_index", _wrap_iter(_each_with_index))
+    native(array, "each_index", _wrap_iter(_each_index))
+    native(array, "each_with_object", _wrap_iter(_each_with_object))
+    native(array, "reverse_each", _wrap_iter(_reverse_each))
+    native(array, "map", _wrap_iter(_map))
+    native(array, "collect", _wrap_iter(_map))
+    native(array, "map!", _wrap_iter(_map_bang))
+    native(array, "collect!", _wrap_iter(_map_bang))
+    native(array, "flat_map", _wrap_iter(_flat_map))
+    native(array, "collect_concat", _wrap_iter(_flat_map))
+    native(array, "select", _wrap_iter(_select))
+    native(array, "filter", _wrap_iter(_select))
+    native(array, "select!", _wrap_iter(_keep_if))
+    native(array, "filter!", _wrap_iter(_keep_if))
+    native(array, "filter_map", _wrap_iter(_filter_map))
+    native(array, "reject", _wrap_iter(_reject))
+    native(array, "reject!", _wrap_iter(_delete_if))
+    native(array, "reduce", _wrap_iter(_reduce))
+    native(array, "inject", _wrap_iter(_reduce))
+    native(array, "each_slice", _wrap_iter(_each_slice))
+    native(array, "each_cons", _wrap_iter(_each_cons))
+    native(array, "partition", _wrap_iter(_partition))
+    native(array, "group_by", _wrap_iter(_group_by))
+    native(array, "tally", _tally)
+    native(array, "zip", _zip)
+    native(array, "cycle", _wrap_iter(_cycle))
+
+    # -- predicates over blocks ------------------------------------------------------------
+    native(array, "all?", _wrap_iter(_all))
+    native(array, "any?", _wrap_iter(_any))
+    native(array, "none?", _wrap_iter(_none))
+    native(array, "one?", _wrap_iter(_one))
+
+    # -- slicing -----------------------------------------------------------------------------
+    native(array, "take", lambda i, r, a, b: RArray(_a(r)[:as_int(arg_or(a, 0))]))
+    native(array, "drop", lambda i, r, a, b: RArray(_a(r)[as_int(arg_or(a, 0)):]))
+    native(array, "take_while", _wrap_iter(_take_while))
+    native(array, "drop_while", _wrap_iter(_drop_while))
+
+    # -- conversion ----------------------------------------------------------------------------
+    native(array, "join", _join)
+    native(array, "to_a", lambda i, r, a, b: r)
+    native(array, "to_ary", lambda i, r, a, b: r)
+    native(array, "to_h", _to_h)
+    native(array, "to_s", lambda i, r, a, b: RString(ruby_to_s(r)))
+    native(array, "inspect", lambda i, r, a, b: RString(ruby_to_s(r)))
+    native(array, "hash", lambda i, r, a, b: len(_a(r)))
+    native(array, "==", lambda i, r, a, b: eq(r, arg_or(a, 0)))
+    native(array, "eql?", lambda i, r, a, b: eq(r, arg_or(a, 0)))
+    native(array, "freeze", lambda i, r, a, b: r)
+    native(array, "frozen?", lambda i, r, a, b: False)
+    native(array, "product", _product)
+    native(array, "combination", _combination)
+    native(array, "transpose", _transpose)
+    native(array, "compact_blank", lambda i, r, a, b: RArray([x for x in _a(r) if x not in (None, False)]))
+
+
+# ---------------------------------------------------------------------------
+# implementations
+# ---------------------------------------------------------------------------
+
+def _at(items: list, index: int):
+    if index < 0:
+        index += len(items)
+    if 0 <= index < len(items):
+        return items[index]
+    return None
+
+
+def _index(i, recv, args, block):
+    items = _a(recv)
+    first = arg_or(args, 0)
+    from repro.runtime.interp import RRange
+
+    if isinstance(first, RRange):
+        values = first.values()
+        if not values:
+            return RArray([])
+        return RArray(items[values[0]:values[-1] + 1])
+    start = as_int(first)
+    if len(args) >= 2:
+        length = as_int(args[1])
+        if start < 0:
+            start += len(items)
+        if start < 0 or start > len(items) or length < 0:
+            return None
+        return RArray(items[start:start + length])
+    return _at(items, start)
+
+
+def _index_set(i, recv, args, block):
+    items = _a(recv)
+    index = as_int(args[0])
+    value = args[-1]
+    if index < 0:
+        index += len(items)
+    while len(items) <= index:
+        items.append(None)
+    items[index] = value
+    return value
+
+
+def _fetch(i, recv, args, block):
+    items = _a(recv)
+    index = as_int(arg_or(args, 0))
+    original = index
+    if index < 0:
+        index += len(items)
+    if 0 <= index < len(items):
+        return items[index]
+    if len(args) >= 2:
+        return args[1]
+    if block is not None:
+        return call_block(i, block, [original])
+    raise RubyError("IndexError", f"index {original} outside of array bounds")
+
+
+def _dig(i, recv, args, block):
+    current: object = recv
+    for key in args:
+        if current is None:
+            return None
+        current = i.call_method(current, "[]", [key], None, 0)
+    return current
+
+
+def _first(i, recv, args, block):
+    items = _a(recv)
+    if args:
+        return RArray(items[:as_int(args[0])])
+    return items[0] if items else None
+
+
+def _last(i, recv, args, block):
+    items = _a(recv)
+    if args:
+        n = as_int(args[0])
+        return RArray(items[-n:] if n else [])
+    return items[-1] if items else None
+
+
+def _assoc(i, recv, args, block):
+    for item in _a(recv):
+        if isinstance(item, RArray) and item.items and eq(item.items[0], arg_or(args, 0)):
+            return item
+    return None
+
+
+def _count(i, recv, args, block):
+    items = _a(recv)
+    if args:
+        return sum(1 for x in items if eq(x, args[0]))
+    if block is not None:
+        return sum(1 for x in items if _truthy(call_block(i, block, [x])))
+    return len(items)
+
+
+def _truthy(value) -> bool:
+    return value is not None and value is not False
+
+
+def _push(i, recv, args, block):
+    _a(recv).extend(args)
+    return recv
+
+
+def _unshift(i, recv, args, block):
+    for value in reversed(args):
+        _a(recv).insert(0, value)
+    return recv
+
+
+def _insert(i, recv, args, block):
+    index = as_int(args[0])
+    items = _a(recv)
+    if index < 0:
+        index += len(items) + 1
+    for offset, value in enumerate(args[1:]):
+        items.insert(index + offset, value)
+    return recv
+
+
+def _delete(i, recv, args, block):
+    items = _a(recv)
+    target = arg_or(args, 0)
+    found = _contains(items, target)
+    items[:] = [x for x in items if not eq(x, target)]
+    return target if found else None
+
+
+def _delete_at(i, recv, args, block):
+    items = _a(recv)
+    index = as_int(arg_or(args, 0))
+    if index < 0:
+        index += len(items)
+    if 0 <= index < len(items):
+        return items.pop(index)
+    return None
+
+
+def _delete_if(i, recv, args, block):
+    expect_block(i, block, "delete_if")
+    items = _a(recv)
+    items[:] = [x for x in items if not _truthy(call_block(i, block, [x]))]
+    return recv
+
+
+def _keep_if(i, recv, args, block):
+    expect_block(i, block, "keep_if")
+    items = _a(recv)
+    items[:] = [x for x in items if _truthy(call_block(i, block, [x]))]
+    return recv
+
+
+def _replace(recv: RArray, other) -> None:
+    recv.items[:] = _a(other)
+
+
+def _fill(i, recv, args, block):
+    items = _a(recv)
+    if block is not None:
+        for index in range(len(items)):
+            items[index] = call_block(i, block, [index])
+    else:
+        value = arg_or(args, 0)
+        for index in range(len(items)):
+            items[index] = value
+    return recv
+
+
+def _concat(i, recv, args, block):
+    for other in args:
+        _a(recv).extend(_a(other))
+    return recv
+
+
+def _compact_bang(i, recv, args, block):
+    items = _a(recv)
+    before = len(items)
+    items[:] = [x for x in items if x is not None]
+    return recv if len(items) != before else None
+
+
+def _flatten(items: list) -> list:
+    out: list = []
+    for item in items:
+        if isinstance(item, RArray):
+            out.extend(_flatten(item.items))
+        else:
+            out.append(item)
+    return out
+
+
+def _uniq_list(items: list) -> list:
+    out: list = []
+    for item in items:
+        if not _contains(out, item):
+            out.append(item)
+    return out
+
+
+def _uniq(i, recv, args, block):
+    if block is None:
+        return RArray(_uniq_list(_a(recv)))
+    seen: list = []
+    out: list = []
+    for item in _a(recv):
+        key = call_block(i, block, [item])
+        if not _contains(seen, key):
+            seen.append(key)
+            out.append(item)
+    return RArray(out)
+
+
+def _uniq_bang(i, recv, args, block):
+    items = _a(recv)
+    before = len(items)
+    items[:] = _uniq_list(items)
+    return recv if len(items) != before else None
+
+
+def _rotate(i, recv, args, block):
+    items = _a(recv)
+    n = as_int(arg_or(args, 0, 1)) % len(items) if items else 0
+    return RArray(items[n:] + items[:n])
+
+
+def _times_or_join(i, recv, args, block):
+    arg = arg_or(args, 0)
+    if isinstance(arg, RString):
+        return _join(i, recv, [arg], block)
+    return RArray(_a(recv) * as_int(arg))
+
+
+def _contains(items: list, value) -> bool:
+    return any(eq(x, value) for x in items)
+
+
+def _sort(i, recv, args, block):
+    items = list(_a(recv))
+    if block is None:
+        items.sort(key=sort_key(i))
+    else:
+        import functools
+        items.sort(key=functools.cmp_to_key(
+            lambda x, y: call_block(i, block, [x, y])))
+    return RArray(items)
+
+
+def _sort_bang(i, recv, args, block):
+    result = _sort(i, recv, args, block)
+    _replace(recv, result)
+    return recv
+
+
+def _sort_by(i, recv, args, block):
+    expect_block(i, block, "sort_by")
+    items = list(_a(recv))
+    keyed = [(call_block(i, block, [x]), x) for x in items]
+    keyed.sort(key=lambda pair: sort_key(i)(pair[0]))
+    return RArray([x for _, x in keyed])
+
+
+def _sort_by_bang(i, recv, args, block):
+    result = _sort_by(i, recv, args, block)
+    _replace(recv, result)
+    return recv
+
+
+def _min(i, recv, args, block):
+    items = _a(recv)
+    if not items:
+        return None
+    return min(items, key=sort_key(i))
+
+
+def _max(i, recv, args, block):
+    items = _a(recv)
+    if not items:
+        return None
+    return max(items, key=sort_key(i))
+
+
+def _min_by(i, recv, args, block):
+    expect_block(i, block, "min_by")
+    items = _a(recv)
+    if not items:
+        return None
+    return min(items, key=lambda x: sort_key(i)(call_block(i, block, [x])))
+
+
+def _max_by(i, recv, args, block):
+    expect_block(i, block, "max_by")
+    items = _a(recv)
+    if not items:
+        return None
+    return max(items, key=lambda x: sort_key(i)(call_block(i, block, [x])))
+
+
+def _sum(i, recv, args, block):
+    total = arg_or(args, 0, 0)
+    for item in _a(recv):
+        value = call_block(i, block, [item]) if block is not None else item
+        total = i.call_method(total, "+", [value], None, 0)
+    return total
+
+
+def _find_index(i, recv, args, block):
+    items = _a(recv)
+    if args:
+        for index, item in enumerate(items):
+            if eq(item, args[0]):
+                return index
+        return None
+    expect_block(i, block, "index")
+    for index, item in enumerate(items):
+        if _truthy(call_block(i, block, [item])):
+            return index
+    return None
+
+
+def _rindex(i, recv, args, block):
+    items = _a(recv)
+    for index in range(len(items) - 1, -1, -1):
+        if eq(items[index], arg_or(args, 0)):
+            return index
+    return None
+
+
+def _find(i, recv, args, block):
+    expect_block(i, block, "find")
+    for item in _a(recv):
+        if _truthy(call_block(i, block, [item])):
+            return item
+    return None
+
+
+def _each(i, recv, args, block):
+    if block is None:
+        return recv
+    for item in _a(recv):
+        call_block(i, block, [item])
+    return recv
+
+
+def _each_with_index(i, recv, args, block):
+    expect_block(i, block, "each_with_index")
+    for index, item in enumerate(_a(recv)):
+        call_block(i, block, [item, index])
+    return recv
+
+
+def _each_index(i, recv, args, block):
+    expect_block(i, block, "each_index")
+    for index in range(len(_a(recv))):
+        call_block(i, block, [index])
+    return recv
+
+
+def _each_with_object(i, recv, args, block):
+    expect_block(i, block, "each_with_object")
+    memo = arg_or(args, 0)
+    for item in _a(recv):
+        call_block(i, block, [item, memo])
+    return memo
+
+
+def _reverse_each(i, recv, args, block):
+    expect_block(i, block, "reverse_each")
+    for item in reversed(_a(recv)):
+        call_block(i, block, [item])
+    return recv
+
+
+def _map(i, recv, args, block):
+    expect_block(i, block, "map")
+    return RArray([call_block(i, block, [x]) for x in _a(recv)])
+
+
+def _map_bang(i, recv, args, block):
+    expect_block(i, block, "map!")
+    items = _a(recv)
+    items[:] = [call_block(i, block, [x]) for x in items]
+    return recv
+
+
+def _flat_map(i, recv, args, block):
+    expect_block(i, block, "flat_map")
+    out: list = []
+    for item in _a(recv):
+        result = call_block(i, block, [item])
+        if isinstance(result, RArray):
+            out.extend(result.items)
+        else:
+            out.append(result)
+    return RArray(out)
+
+
+def _select(i, recv, args, block):
+    expect_block(i, block, "select")
+    return RArray([x for x in _a(recv) if _truthy(call_block(i, block, [x]))])
+
+
+def _filter_map(i, recv, args, block):
+    expect_block(i, block, "filter_map")
+    out = []
+    for item in _a(recv):
+        value = call_block(i, block, [item])
+        if _truthy(value):
+            out.append(value)
+    return RArray(out)
+
+
+def _reject(i, recv, args, block):
+    expect_block(i, block, "reject")
+    return RArray([x for x in _a(recv) if not _truthy(call_block(i, block, [x]))])
+
+
+def _reduce(i, recv, args, block):
+    items = list(_a(recv))
+    from repro.rtypes.kinds import Sym as _Sym
+
+    if args and isinstance(args[-1], _Sym):
+        op = args[-1].name
+        memo = args[0] if len(args) > 1 else (items.pop(0) if items else None)
+        for item in items:
+            memo = i.call_method(memo, op, [item], None, 0)
+        return memo
+    expect_block(i, block, "reduce")
+    if args:
+        memo = args[0]
+    else:
+        if not items:
+            return None
+        memo = items.pop(0)
+    for item in items:
+        memo = call_block(i, block, [memo, item])
+    return memo
+
+
+def _each_slice(i, recv, args, block):
+    n = as_int(arg_or(args, 0))
+    items = _a(recv)
+    slices = [RArray(items[k:k + n]) for k in range(0, len(items), n)]
+    if block is None:
+        return RArray(slices)
+    for chunk in slices:
+        call_block(i, block, [chunk])
+    return None
+
+
+def _each_cons(i, recv, args, block):
+    n = as_int(arg_or(args, 0))
+    items = _a(recv)
+    windows = [RArray(items[k:k + n]) for k in range(0, len(items) - n + 1)]
+    if block is None:
+        return RArray(windows)
+    for window in windows:
+        call_block(i, block, [window])
+    return None
+
+
+def _partition(i, recv, args, block):
+    expect_block(i, block, "partition")
+    yes, no = [], []
+    for item in _a(recv):
+        (yes if _truthy(call_block(i, block, [item])) else no).append(item)
+    return RArray([RArray(yes), RArray(no)])
+
+
+def _group_by(i, recv, args, block):
+    expect_block(i, block, "group_by")
+    result = RHash()
+    for item in _a(recv):
+        key = call_block(i, block, [item])
+        bucket = result.get(key)
+        if bucket is None:
+            bucket = RArray([])
+            result.set(key, bucket)
+        bucket.items.append(item)
+    return result
+
+
+def _tally(i, recv, args, block):
+    result = RHash()
+    for item in _a(recv):
+        result.set(item, (result.get(item) or 0) + 1)
+    return result
+
+
+def _zip(i, recv, args, block):
+    items = _a(recv)
+    others = [_a(other) for other in args]
+    out = []
+    for index, item in enumerate(items):
+        row = [item] + [o[index] if index < len(o) else None for o in others]
+        out.append(RArray(row))
+    return RArray(out)
+
+
+def _cycle(i, recv, args, block):
+    expect_block(i, block, "cycle")
+    n = as_int(arg_or(args, 0, 1))
+    for _ in range(n):
+        for item in _a(recv):
+            call_block(i, block, [item])
+    return None
+
+
+def _all(i, recv, args, block):
+    items = _a(recv)
+    if block is None:
+        return all(_truthy(x) for x in items)
+    return all(_truthy(call_block(i, block, [x])) for x in items)
+
+
+def _any(i, recv, args, block):
+    items = _a(recv)
+    if block is None:
+        return any(_truthy(x) for x in items)
+    return any(_truthy(call_block(i, block, [x])) for x in items)
+
+
+def _none(i, recv, args, block):
+    return not _any(i, recv, args, block)
+
+
+def _one(i, recv, args, block):
+    items = _a(recv)
+    if block is None:
+        return sum(1 for x in items if _truthy(x)) == 1
+    return sum(1 for x in items if _truthy(call_block(i, block, [x]))) == 1
+
+
+def _take_while(i, recv, args, block):
+    expect_block(i, block, "take_while")
+    out = []
+    for item in _a(recv):
+        if not _truthy(call_block(i, block, [item])):
+            break
+        out.append(item)
+    return RArray(out)
+
+
+def _drop_while(i, recv, args, block):
+    expect_block(i, block, "drop_while")
+    items = _a(recv)
+    index = 0
+    while index < len(items) and _truthy(call_block(i, block, [items[index]])):
+        index += 1
+    return RArray(items[index:])
+
+
+def _join(i, recv, args, block):
+    sep = ""
+    if args and isinstance(args[0], RString):
+        sep = args[0].val
+    return RString(sep.join(ruby_to_s(x) for x in _flatten(_a(recv))))
+
+
+def _to_h(i, recv, args, block):
+    result = RHash()
+    for item in _a(recv):
+        if block is not None:
+            item = call_block(i, block, [item])
+        if not isinstance(item, RArray) or len(item.items) != 2:
+            raise RubyError("TypeError", "wrong element type for to_h")
+        result.set(item.items[0], item.items[1])
+    return result
+
+
+def _product(i, recv, args, block):
+    result = [[x] for x in _a(recv)]
+    for other in args:
+        result = [row + [y] for row in result for y in _a(other)]
+    return RArray([RArray(row) for row in result])
+
+
+def _combination(i, recv, args, block):
+    import itertools
+
+    n = as_int(arg_or(args, 0))
+    combos = [RArray(list(c)) for c in itertools.combinations(_a(recv), n)]
+    if block is None:
+        return RArray(combos)
+    for combo in combos:
+        call_block(i, block, [combo])
+    return recv
+
+
+def _transpose(i, recv, args, block):
+    rows = [_a(row) for row in _a(recv)]
+    if not rows:
+        return RArray([])
+    return RArray([RArray(list(col)) for col in zip(*rows)])

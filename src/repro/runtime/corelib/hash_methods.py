@@ -1,0 +1,391 @@
+"""Hash native methods.
+
+``Hash#[]`` is the paper's flagship comp type for finite hash types (§2.2):
+with a singleton key type it returns the exact entry type instead of the
+promoted value union.  The 48 annotated Hash methods in Table 1 map onto
+these implementations.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.errors import RubyError
+from repro.runtime.corelib.helpers import (
+    arg_or,
+    call_block,
+    eq,
+    expect_block,
+    native,
+    sort_key,
+)
+from repro.runtime.objects import RArray, RHash, RString, ruby_to_s
+from repro.runtime.interp import BreakSignal
+
+
+def _h(recv) -> RHash:
+    if not isinstance(recv, RHash):
+        raise RubyError("TypeError", "Hash method on non-hash")
+    return recv
+
+
+def _truthy(value) -> bool:
+    return value is not None and value is not False
+
+
+def _wrap_iter(fn):
+    def wrapped(i, recv, args, block):
+        try:
+            return fn(i, recv, args, block)
+        except BreakSignal as brk:
+            return brk.value
+    return wrapped
+
+
+def install_hash(interp) -> None:
+    hash_class = interp.classes["Hash"]
+
+    native(hash_class, "[]", lambda i, r, a, b: _h(r).get(arg_or(a, 0)))
+    native(hash_class, "[]=", _store)
+    native(hash_class, "store", _store)
+    native(hash_class, "fetch", _fetch)
+    native(hash_class, "dig", _dig)
+    native(hash_class, "key?", _has_key)
+    native(hash_class, "has_key?", _has_key)
+    native(hash_class, "include?", _has_key)
+    native(hash_class, "member?", _has_key)
+    native(hash_class, "value?", _has_value)
+    native(hash_class, "has_value?", _has_value)
+    native(hash_class, "key", _key_for)
+    native(hash_class, "keys", lambda i, r, a, b: RArray(_h(r).keys()))
+    native(hash_class, "values", lambda i, r, a, b: RArray(_h(r).values()))
+    native(hash_class, "values_at", lambda i, r, a, b: RArray([_h(r).get(k) for k in a]))
+    native(hash_class, "length", lambda i, r, a, b: len(_h(r)))
+    native(hash_class, "size", lambda i, r, a, b: len(_h(r)))
+    native(hash_class, "count", _count)
+    native(hash_class, "empty?", lambda i, r, a, b: len(_h(r)) == 0)
+    native(hash_class, "delete", lambda i, r, a, b: _h(r).delete(arg_or(a, 0)))
+    native(hash_class, "delete_if", _wrap_iter(_delete_if))
+    native(hash_class, "clear", lambda i, r, a, b: (_h(r).entries.clear(), r)[1])
+    native(hash_class, "each", _wrap_iter(_each))
+    native(hash_class, "each_pair", _wrap_iter(_each))
+    native(hash_class, "each_key", _wrap_iter(_each_key))
+    native(hash_class, "each_value", _wrap_iter(_each_value))
+    native(hash_class, "each_with_object", _wrap_iter(_each_with_object))
+    native(hash_class, "map", _wrap_iter(_map))
+    native(hash_class, "collect", _wrap_iter(_map))
+    native(hash_class, "flat_map", _wrap_iter(_flat_map))
+    native(hash_class, "select", _wrap_iter(_select))
+    native(hash_class, "filter", _wrap_iter(_select))
+    native(hash_class, "filter_map", _wrap_iter(_filter_map))
+    native(hash_class, "reject", _wrap_iter(_reject))
+    native(hash_class, "find", _wrap_iter(_find))
+    native(hash_class, "detect", _wrap_iter(_find))
+    native(hash_class, "merge", _merge)
+    native(hash_class, "merge!", _merge_bang)
+    native(hash_class, "update", _merge_bang)
+    native(hash_class, "to_a", lambda i, r, a, b: RArray([RArray([k, v]) for k, v in _h(r).pairs()]))
+    native(hash_class, "to_h", lambda i, r, a, b: r)
+    native(hash_class, "to_s", lambda i, r, a, b: RString(ruby_to_s(r)))
+    native(hash_class, "inspect", lambda i, r, a, b: RString(ruby_to_s(r)))
+    native(hash_class, "invert", _invert)
+    native(hash_class, "any?", _wrap_iter(_any))
+    native(hash_class, "all?", _wrap_iter(_all))
+    native(hash_class, "none?", _wrap_iter(_none))
+    native(hash_class, "sum", _wrap_iter(_sum))
+    native(hash_class, "min_by", _wrap_iter(_min_by))
+    native(hash_class, "max_by", _wrap_iter(_max_by))
+    native(hash_class, "sort_by", _wrap_iter(_sort_by))
+    native(hash_class, "group_by", _wrap_iter(_group_by))
+    native(hash_class, "partition", _wrap_iter(_partition))
+    native(hash_class, "transform_values", _wrap_iter(_transform_values))
+    native(hash_class, "transform_keys", _wrap_iter(_transform_keys))
+    native(hash_class, "compact", _compact)
+    native(hash_class, "slice", _slice)
+    native(hash_class, "except", _except)
+    native(hash_class, "reduce", _wrap_iter(_reduce))
+    native(hash_class, "inject", _wrap_iter(_reduce))
+    native(hash_class, "==", lambda i, r, a, b: eq(r, arg_or(a, 0)))
+    native(hash_class, "eql?", lambda i, r, a, b: eq(r, arg_or(a, 0)))
+    native(hash_class, "dup", lambda i, r, a, b: RHash.from_pairs(_h(r).pairs()))
+    native(hash_class, "clone", lambda i, r, a, b: RHash.from_pairs(_h(r).pairs()))
+    native(hash_class, "freeze", lambda i, r, a, b: r)
+    native(hash_class, "frozen?", lambda i, r, a, b: False)
+    native(hash_class, "replace", lambda i, r, a, b: (_replace(r, arg_or(a, 0)), r)[1])
+    native(hash_class, "sort", lambda i, r, a, b: RArray(sorted((RArray([k, v]) for k, v in _h(r).pairs()), key=sort_key(i))))
+    native(hash_class, "hash", lambda i, r, a, b: len(_h(r)))
+
+
+def _store(i, recv, args, block):
+    _h(recv).set(args[0], args[1])
+    return args[1]
+
+
+def _fetch(i, recv, args, block):
+    h = _h(recv)
+    key = arg_or(args, 0)
+    if h.has_key(key):
+        return h.get(key)
+    if len(args) >= 2:
+        return args[1]
+    if block is not None:
+        return call_block(i, block, [key])
+    raise RubyError("KeyError", f"key not found: {ruby_to_s(key)}")
+
+
+def _dig(i, recv, args, block):
+    current: object = recv
+    for key in args:
+        if current is None:
+            return None
+        current = i.call_method(current, "[]", [key], None, 0)
+    return current
+
+
+def _has_key(i, recv, args, block):
+    return _h(recv).has_key(arg_or(args, 0))
+
+
+def _has_value(i, recv, args, block):
+    return any(eq(v, arg_or(args, 0)) for v in _h(recv).values())
+
+
+def _key_for(i, recv, args, block):
+    for k, v in _h(recv).pairs():
+        if eq(v, arg_or(args, 0)):
+            return k
+    return None
+
+
+def _count(i, recv, args, block):
+    h = _h(recv)
+    if block is None:
+        return len(h)
+    return sum(1 for k, v in h.pairs() if _truthy(call_block(i, block, [k, v])))
+
+
+def _delete_if(i, recv, args, block):
+    expect_block(i, block, "delete_if")
+    h = _h(recv)
+    keep = [(k, v) for k, v in h.pairs() if not _truthy(call_block(i, block, [k, v]))]
+    h.entries.clear()
+    for k, v in keep:
+        h.set(k, v)
+    return recv
+
+
+def _each(i, recv, args, block):
+    if block is None:
+        return recv
+    for k, v in _h(recv).pairs():
+        call_block(i, block, [k, v])
+    return recv
+
+
+def _each_key(i, recv, args, block):
+    expect_block(i, block, "each_key")
+    for k in _h(recv).keys():
+        call_block(i, block, [k])
+    return recv
+
+
+def _each_value(i, recv, args, block):
+    expect_block(i, block, "each_value")
+    for v in _h(recv).values():
+        call_block(i, block, [v])
+    return recv
+
+
+def _each_with_object(i, recv, args, block):
+    expect_block(i, block, "each_with_object")
+    memo = arg_or(args, 0)
+    for k, v in _h(recv).pairs():
+        call_block(i, block, [RArray([k, v]), memo])
+    return memo
+
+
+def _map(i, recv, args, block):
+    expect_block(i, block, "map")
+    return RArray([call_block(i, block, [k, v]) for k, v in _h(recv).pairs()])
+
+
+def _flat_map(i, recv, args, block):
+    expect_block(i, block, "flat_map")
+    out: list = []
+    for k, v in _h(recv).pairs():
+        result = call_block(i, block, [k, v])
+        if isinstance(result, RArray):
+            out.extend(result.items)
+        else:
+            out.append(result)
+    return RArray(out)
+
+
+def _select(i, recv, args, block):
+    expect_block(i, block, "select")
+    return RHash.from_pairs(
+        (k, v) for k, v in _h(recv).pairs() if _truthy(call_block(i, block, [k, v]))
+    )
+
+
+def _filter_map(i, recv, args, block):
+    expect_block(i, block, "filter_map")
+    out = []
+    for k, v in _h(recv).pairs():
+        value = call_block(i, block, [k, v])
+        if _truthy(value):
+            out.append(value)
+    return RArray(out)
+
+
+def _reject(i, recv, args, block):
+    expect_block(i, block, "reject")
+    return RHash.from_pairs(
+        (k, v) for k, v in _h(recv).pairs() if not _truthy(call_block(i, block, [k, v]))
+    )
+
+
+def _find(i, recv, args, block):
+    expect_block(i, block, "find")
+    for k, v in _h(recv).pairs():
+        if _truthy(call_block(i, block, [k, v])):
+            return RArray([k, v])
+    return None
+
+
+def _merge(i, recv, args, block):
+    result = RHash.from_pairs(_h(recv).pairs())
+    for other in args:
+        for k, v in _h(other).pairs():
+            if block is not None and result.has_key(k):
+                v = call_block(i, block, [k, result.get(k), v])
+            result.set(k, v)
+    return result
+
+
+def _merge_bang(i, recv, args, block):
+    merged = _merge(i, recv, args, block)
+    _replace(recv, merged)
+    return recv
+
+
+def _replace(recv: RHash, other: RHash) -> None:
+    recv.entries.clear()
+    for k, v in _h(other).pairs():
+        recv.set(k, v)
+
+
+def _invert(i, recv, args, block):
+    return RHash.from_pairs((v, k) for k, v in _h(recv).pairs())
+
+
+def _any(i, recv, args, block):
+    h = _h(recv)
+    if block is None:
+        return len(h) > 0
+    return any(_truthy(call_block(i, block, [k, v])) for k, v in h.pairs())
+
+
+def _all(i, recv, args, block):
+    h = _h(recv)
+    if block is None:
+        return True
+    return all(_truthy(call_block(i, block, [k, v])) for k, v in h.pairs())
+
+
+def _none(i, recv, args, block):
+    return not _any(i, recv, args, block)
+
+
+def _sum(i, recv, args, block):
+    total = arg_or(args, 0, 0)
+    for k, v in _h(recv).pairs():
+        value = call_block(i, block, [k, v]) if block is not None else RArray([k, v])
+        total = i.call_method(total, "+", [value], None, 0)
+    return total
+
+
+def _min_by(i, recv, args, block):
+    expect_block(i, block, "min_by")
+    pairs = _h(recv).pairs()
+    if not pairs:
+        return None
+    k, v = min(pairs, key=lambda kv: sort_key(i)(call_block(i, block, [kv[0], kv[1]])))
+    return RArray([k, v])
+
+
+def _max_by(i, recv, args, block):
+    expect_block(i, block, "max_by")
+    pairs = _h(recv).pairs()
+    if not pairs:
+        return None
+    k, v = max(pairs, key=lambda kv: sort_key(i)(call_block(i, block, [kv[0], kv[1]])))
+    return RArray([k, v])
+
+
+def _sort_by(i, recv, args, block):
+    expect_block(i, block, "sort_by")
+    pairs = list(_h(recv).pairs())
+    pairs.sort(key=lambda kv: sort_key(i)(call_block(i, block, [kv[0], kv[1]])))
+    return RArray([RArray([k, v]) for k, v in pairs])
+
+
+def _group_by(i, recv, args, block):
+    expect_block(i, block, "group_by")
+    result = RHash()
+    for k, v in _h(recv).pairs():
+        key = call_block(i, block, [k, v])
+        bucket = result.get(key)
+        if bucket is None:
+            bucket = RArray([])
+            result.set(key, bucket)
+        bucket.items.append(RArray([k, v]))
+    return result
+
+
+def _partition(i, recv, args, block):
+    expect_block(i, block, "partition")
+    yes, no = [], []
+    for k, v in _h(recv).pairs():
+        (yes if _truthy(call_block(i, block, [k, v])) else no).append(RArray([k, v]))
+    return RArray([RArray(yes), RArray(no)])
+
+
+def _transform_values(i, recv, args, block):
+    expect_block(i, block, "transform_values")
+    return RHash.from_pairs((k, call_block(i, block, [v])) for k, v in _h(recv).pairs())
+
+
+def _transform_keys(i, recv, args, block):
+    expect_block(i, block, "transform_keys")
+    return RHash.from_pairs((call_block(i, block, [k]), v) for k, v in _h(recv).pairs())
+
+
+def _compact(i, recv, args, block):
+    return RHash.from_pairs((k, v) for k, v in _h(recv).pairs() if v is not None)
+
+
+def _slice(i, recv, args, block):
+    h = _h(recv)
+    return RHash.from_pairs((k, h.get(k)) for k in args if h.has_key(k))
+
+
+def _except(i, recv, args, block):
+    from repro.runtime.objects import hash_key
+
+    excluded = {hash_key(k) for k in args}
+    return RHash.from_pairs(
+        (k, v) for k, v in _h(recv).pairs() if hash_key(k) not in excluded
+    )
+
+
+def _reduce(i, recv, args, block):
+    expect_block(i, block, "reduce")
+    pairs = [RArray([k, v]) for k, v in _h(recv).pairs()]
+    if args:
+        memo = args[0]
+    else:
+        if not pairs:
+            return None
+        memo = pairs.pop(0)
+    for pair in pairs:
+        memo = call_block(i, block, [memo, pair])
+    return memo

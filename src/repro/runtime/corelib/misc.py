@@ -1,0 +1,100 @@
+"""Symbol, Range, and Proc native methods."""
+
+from __future__ import annotations
+
+from repro.rtypes.kinds import Sym
+from repro.runtime.errors import RubyError
+from repro.runtime.corelib.helpers import arg_or, call_block, native
+from repro.runtime.objects import RArray, RBlock, RString
+from repro.runtime.interp import BreakSignal, RRange
+
+
+def install_misc(interp) -> None:
+    symbol = interp.classes["Symbol"]
+    native(symbol, "to_s", lambda i, r, a, b: RString(r.name))
+    native(symbol, "id2name", lambda i, r, a, b: RString(r.name))
+    native(symbol, "to_sym", lambda i, r, a, b: r)
+    native(symbol, "inspect", lambda i, r, a, b: RString(f":{r.name}"))
+    native(symbol, "length", lambda i, r, a, b: len(r.name))
+    native(symbol, "size", lambda i, r, a, b: len(r.name))
+    native(symbol, "empty?", lambda i, r, a, b: len(r.name) == 0)
+    native(symbol, "upcase", lambda i, r, a, b: Sym(r.name.upper()))
+    native(symbol, "downcase", lambda i, r, a, b: Sym(r.name.lower()))
+    native(symbol, "capitalize", lambda i, r, a, b: Sym(r.name.capitalize()))
+    native(symbol, "succ", lambda i, r, a, b: Sym(r.name))
+    native(symbol, "<=>", lambda i, r, a, b: _sym_cmp(r, arg_or(a, 0)))
+
+    def sym_to_proc(i, recv, args, block):
+        return RBlock([], [], None, None, sym_proc=recv)
+
+    native(symbol, "to_proc", sym_to_proc)
+
+    range_class = interp.classes["Range"]
+
+    def _r(recv) -> RRange:
+        if not isinstance(recv, RRange):
+            raise RubyError("TypeError", "Range method on non-range")
+        return recv
+
+    native(range_class, "to_a", lambda i, r, a, b: RArray(_r(r).values()))
+    native(range_class, "to_ary", lambda i, r, a, b: RArray(_r(r).values()))
+    native(range_class, "include?", lambda i, r, a, b: _r(r).includes(arg_or(a, 0)))
+    native(range_class, "cover?", lambda i, r, a, b: _r(r).includes(arg_or(a, 0)))
+    native(range_class, "member?", lambda i, r, a, b: _r(r).includes(arg_or(a, 0)))
+    native(range_class, "first", lambda i, r, a, b: _r(r).low)
+    native(range_class, "begin", lambda i, r, a, b: _r(r).low)
+    native(range_class, "last", lambda i, r, a, b: _r(r).high)
+    native(range_class, "end", lambda i, r, a, b: _r(r).high)
+    native(range_class, "min", lambda i, r, a, b: min(_r(r).values(), default=None))
+    native(range_class, "max", lambda i, r, a, b: max(_r(r).values(), default=None))
+    native(range_class, "size", lambda i, r, a, b: len(_r(r).values()))
+    native(range_class, "count", lambda i, r, a, b: len(_r(r).values()))
+    native(range_class, "sum", lambda i, r, a, b: sum(_r(r).values()))
+
+    def range_each(i, recv, args, block):
+        if block is None:
+            return recv
+        try:
+            for value in _r(recv).values():
+                call_block(i, block, [value])
+        except BreakSignal as brk:
+            return brk.value
+        return recv
+
+    native(range_class, "each", range_each)
+
+    def range_map(i, recv, args, block):
+        try:
+            return RArray([call_block(i, block, [v]) for v in _r(recv).values()])
+        except BreakSignal as brk:
+            return brk.value
+
+    native(range_class, "map", range_map)
+    native(range_class, "collect", range_map)
+
+    def range_select(i, recv, args, block):
+        truthy = lambda v: v is not None and v is not False
+        return RArray([v for v in _r(recv).values() if truthy(call_block(i, block, [v]))])
+
+    native(range_class, "select", range_select)
+
+    proc = interp.classes["Proc"]
+
+    def proc_call(i, recv, args, block):
+        if not isinstance(recv, RBlock):
+            raise RubyError("TypeError", "call on non-proc")
+        return i.call_block(recv, list(args), 0)
+
+    native(proc, "call", proc_call)
+    native(proc, "()", proc_call)
+    native(proc, "[]", proc_call)
+    native(proc, "yield", proc_call)
+    native(proc, "to_proc", lambda i, r, a, b: r)
+    native(proc, "lambda?", lambda i, r, a, b: bool(getattr(r, "is_lambda", False)))
+    native(proc, "arity", lambda i, r, a, b: len(r.params))
+
+
+def _sym_cmp(a: Sym, b) -> object:
+    if not isinstance(b, Sym):
+        return None
+    return (a.name > b.name) - (a.name < b.name)

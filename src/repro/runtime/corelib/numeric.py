@@ -1,0 +1,256 @@
+"""Integer and Float native methods.
+
+The paper writes comp types for Integer (108 methods) and Float (98) that
+perform constant folding on singleton numeric types (§2.4); this module
+provides the runtime behaviour those annotations describe.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.runtime.errors import RubyError
+from repro.runtime.corelib.helpers import arg_or, as_num, call_block, native
+from repro.runtime.objects import RArray, RString, ruby_to_s
+from repro.runtime.interp import BreakSignal
+
+
+def _arith(op):
+    def fn(i, recv, args, block):
+        other = as_num(arg_or(args, 0))
+        try:
+            return op(recv, other)
+        except ZeroDivisionError:
+            raise RubyError("ZeroDivisionError", "divided by 0")
+    return fn
+
+
+def _int_div(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise ZeroDivisionError
+        return a // b
+    return a / b
+
+
+def _modulo(a, b):
+    if b == 0:
+        raise ZeroDivisionError
+    return a % b
+
+
+def _cmp(op):
+    def fn(i, recv, args, block):
+        other = as_num(arg_or(args, 0))
+        return op(recv, other)
+    return fn
+
+
+def install_numeric(interp) -> None:
+    for class_name in ("Integer", "Float"):
+        klass = interp.classes[class_name]
+        native(klass, "+", _arith(lambda a, b: a + b))
+        native(klass, "-", _arith(lambda a, b: a - b))
+        native(klass, "*", _arith(lambda a, b: a * b))
+        native(klass, "/", _arith(_int_div))
+        native(klass, "%", _arith(_modulo))
+        native(klass, "modulo", _arith(_modulo))
+        native(klass, "**", _arith(lambda a, b: a ** b))
+        native(klass, "pow", _arith(lambda a, b: a ** b))
+        native(klass, "fdiv", _arith(lambda a, b: a / b))
+        native(klass, "<", _cmp(lambda a, b: a < b))
+        native(klass, ">", _cmp(lambda a, b: a > b))
+        native(klass, "<=", _cmp(lambda a, b: a <= b))
+        native(klass, ">=", _cmp(lambda a, b: a >= b))
+        native(klass, "<=>", _spaceship)
+        native(klass, "==", lambda i, r, a, b: _num_eq(r, arg_or(a, 0)))
+        native(klass, "!=", lambda i, r, a, b: not _num_eq(r, arg_or(a, 0)))
+        native(klass, "abs", lambda i, r, a, b: abs(r))
+        native(klass, "magnitude", lambda i, r, a, b: abs(r))
+        native(klass, "ceil", _ceil)
+        native(klass, "floor", _floor)
+        native(klass, "round", _round)
+        native(klass, "truncate", lambda i, r, a, b: math.trunc(r))
+        native(klass, "to_i", lambda i, r, a, b: int(r))
+        native(klass, "to_int", lambda i, r, a, b: int(r))
+        native(klass, "to_f", lambda i, r, a, b: float(r))
+        native(klass, "to_s", _num_to_s)
+        native(klass, "inspect", _num_to_s)
+        native(klass, "zero?", lambda i, r, a, b: r == 0)
+        native(klass, "nonzero?", lambda i, r, a, b: None if r == 0 else r)
+        native(klass, "positive?", lambda i, r, a, b: r > 0)
+        native(klass, "negative?", lambda i, r, a, b: r < 0)
+        native(klass, "finite?", lambda i, r, a, b: math.isfinite(r))
+        native(klass, "divmod", _divmod)
+        native(klass, "coerce", lambda i, r, a, b: RArray([float(as_num(arg_or(a, 0))), float(r)]))
+        native(klass, "between?", _between)
+        native(klass, "clamp", _clamp)
+        native(klass, "step", _step)
+        native(klass, "hash", lambda i, r, a, b: hash(r))
+        native(klass, "eql?", lambda i, r, a, b: type(r) is type(arg_or(a, 0)) and r == arg_or(a, 0))
+
+    integer = interp.classes["Integer"]
+    native(integer, "succ", lambda i, r, a, b: r + 1)
+    native(integer, "next", lambda i, r, a, b: r + 1)
+    native(integer, "pred", lambda i, r, a, b: r - 1)
+    native(integer, "even?", lambda i, r, a, b: r % 2 == 0)
+    native(integer, "odd?", lambda i, r, a, b: r % 2 == 1)
+    native(integer, "integer?", lambda i, r, a, b: True)
+    native(integer, "chr", lambda i, r, a, b: RString(chr(r)))
+    native(integer, "ord", lambda i, r, a, b: r)
+    native(integer, "digits", _digits)
+    native(integer, "bit_length", lambda i, r, a, b: r.bit_length())
+    native(integer, "gcd", lambda i, r, a, b: math.gcd(r, as_num(arg_or(a, 0))))
+    native(integer, "lcm", lambda i, r, a, b: abs(r * as_num(arg_or(a, 0))) // math.gcd(r, as_num(arg_or(a, 0))) if arg_or(a, 0) else 0)
+    native(integer, "times", _times)
+    native(integer, "upto", _upto)
+    native(integer, "downto", _downto)
+    native(integer, "size", lambda i, r, a, b: 8)
+    native(integer, "[]", lambda i, r, a, b: (r >> as_num(arg_or(a, 0))) & 1)
+    native(integer, "&", lambda i, r, a, b: r & as_num(arg_or(a, 0)))
+    native(integer, "|", lambda i, r, a, b: r | as_num(arg_or(a, 0)))
+    native(integer, "<<", lambda i, r, a, b: r << as_num(arg_or(a, 0)))
+    native(integer, ">>", lambda i, r, a, b: r >> as_num(arg_or(a, 0)))
+    native(integer, "-@", lambda i, r, a, b: -r)
+
+    flt = interp.classes["Float"]
+    native(flt, "nan?", lambda i, r, a, b: math.isnan(r))
+    native(flt, "infinite?", lambda i, r, a, b: (1 if r > 0 else -1) if math.isinf(r) else None)
+    native(flt, "integer?", lambda i, r, a, b: False)
+    native(flt, "-@", lambda i, r, a, b: -r)
+
+
+def _num_eq(a, b):
+    if isinstance(b, bool) or not isinstance(b, (int, float)):
+        return False
+    return a == b
+
+
+def _spaceship(i, recv, args, block):
+    other = arg_or(args, 0)
+    if isinstance(other, bool) or not isinstance(other, (int, float)):
+        return None
+    return (recv > other) - (recv < other)
+
+
+def _num_to_s(i, recv, args, block):
+    base = arg_or(args, 0)
+    if base is not None and isinstance(recv, int):
+        digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+        n, out = abs(recv), ""
+        if n == 0:
+            out = "0"
+        while n:
+            out = digits[n % base] + out
+            n //= base
+        return RString(("-" if recv < 0 else "") + out)
+    return RString(ruby_to_s(recv))
+
+
+def _ceil(i, recv, args, block):
+    digits = arg_or(args, 0, 0)
+    if digits == 0:
+        return math.ceil(recv)
+    factor = 10 ** digits
+    return math.ceil(recv * factor) / factor
+
+
+def _floor(i, recv, args, block):
+    digits = arg_or(args, 0, 0)
+    if digits == 0:
+        return math.floor(recv)
+    factor = 10 ** digits
+    return math.floor(recv * factor) / factor
+
+
+def _round(i, recv, args, block):
+    digits = arg_or(args, 0, 0)
+    if digits == 0:
+        # Ruby rounds half away from zero
+        return int(math.floor(recv + 0.5)) if recv >= 0 else int(math.ceil(recv - 0.5))
+    return round(recv, digits)
+
+
+def _divmod(i, recv, args, block):
+    other = as_num(arg_or(args, 0))
+    if other == 0:
+        raise RubyError("ZeroDivisionError", "divided by 0")
+    quotient, remainder = divmod(recv, other)
+    return RArray([quotient, remainder])
+
+
+def _between(i, recv, args, block):
+    low = as_num(arg_or(args, 0))
+    high = as_num(arg_or(args, 1))
+    return low <= recv <= high
+
+
+def _clamp(i, recv, args, block):
+    low = as_num(arg_or(args, 0))
+    high = as_num(arg_or(args, 1))
+    return max(low, min(recv, high))
+
+
+def _digits(i, recv, args, block):
+    base = arg_or(args, 0, 10)
+    n = abs(recv)
+    if n == 0:
+        return RArray([0])
+    out = []
+    while n:
+        out.append(n % base)
+        n //= base
+    return RArray(out)
+
+
+def _times(i, recv, args, block):
+    if block is None:
+        return RArray(list(range(recv)))
+    try:
+        for n in range(recv):
+            call_block(i, block, [n])
+    except BreakSignal as brk:
+        return brk.value
+    return recv
+
+
+def _upto(i, recv, args, block):
+    limit = as_num(arg_or(args, 0))
+    if block is None:
+        return RArray(list(range(recv, limit + 1)))
+    try:
+        for n in range(recv, limit + 1):
+            call_block(i, block, [n])
+    except BreakSignal as brk:
+        return brk.value
+    return recv
+
+
+def _downto(i, recv, args, block):
+    limit = as_num(arg_or(args, 0))
+    if block is None:
+        return RArray(list(range(recv, limit - 1, -1)))
+    try:
+        for n in range(recv, limit - 1, -1):
+            call_block(i, block, [n])
+    except BreakSignal as brk:
+        return brk.value
+    return recv
+
+
+def _step(i, recv, args, block):
+    limit = as_num(arg_or(args, 0))
+    step = as_num(arg_or(args, 1, 1))
+    values = []
+    current = recv
+    while (step > 0 and current <= limit) or (step < 0 and current >= limit):
+        values.append(current)
+        current += step
+    if block is None:
+        return RArray(values)
+    try:
+        for value in values:
+            call_block(i, block, [value])
+    except BreakSignal as brk:
+        return brk.value
+    return recv

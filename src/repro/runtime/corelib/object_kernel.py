@@ -1,0 +1,300 @@
+"""Object / Kernel / Class native methods, including the RDL directives.
+
+The annotation directives (``type``, ``var_type``, ``comp_helper`` …) are
+ordinary methods, exactly as in RDL: running the program *is* how
+annotations get registered (§2).  They delegate to ``interp.registry`` when
+a CompRDL facade has attached one, and are silent no-ops otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.rtypes.kinds import Sym
+from repro.runtime.errors import RubyError
+from repro.runtime.interp import RaiseSignal
+from repro.runtime.corelib.helpers import native, arg_or
+from repro.runtime.objects import (
+    RArray,
+    RBlock,
+    RClass,
+    RException,
+    RHash,
+    RMethod,
+    RObject,
+    RString,
+    ruby_eq,
+    ruby_inspect,
+    ruby_to_s,
+)
+
+
+def install_object_kernel(interp) -> None:
+    obj = interp.classes["Object"]
+
+    # -- identity and equality -------------------------------------------
+    native(obj, "==", lambda i, r, a, b: ruby_eq(r, arg_or(a, 0)))
+    native(obj, "!=", lambda i, r, a, b: not ruby_eq(r, arg_or(a, 0)))
+    native(obj, "equal?", lambda i, r, a, b: r is arg_or(a, 0))
+    native(obj, "eql?", lambda i, r, a, b: ruby_eq(r, arg_or(a, 0)))
+    native(obj, "nil?", lambda i, r, a, b: r is None)
+    native(obj, "!", lambda i, r, a, b: r is None or r is False)
+
+    def obj_is_a(i, recv, args, block):
+        klass = arg_or(args, 0)
+        if not isinstance(klass, RClass):
+            raise RubyError("TypeError", "class or module required")
+        return i.is_a(recv, klass)
+
+    native(obj, "is_a?", obj_is_a)
+    native(obj, "kind_of?", obj_is_a)
+
+    def obj_instance_of(i, recv, args, block):
+        klass = arg_or(args, 0)
+        return isinstance(klass, RClass) and i.class_of(recv) is klass
+
+    native(obj, "instance_of?", obj_instance_of)
+    native(obj, "class", lambda i, r, a, b: i.class_of(r))
+
+    def obj_respond_to(i, recv, args, block):
+        name = arg_or(args, 0)
+        method_name = name.name if isinstance(name, Sym) else ruby_to_s(name)
+        if isinstance(recv, RClass):
+            return recv.lookup_static(method_name) is not None
+        return i.class_of(recv).lookup_instance(method_name) is not None
+
+    native(obj, "respond_to?", obj_respond_to)
+
+    def obj_send(i, recv, args, block):
+        if not args:
+            raise RubyError("ArgumentError", "send requires a method name")
+        name = args[0]
+        method_name = name.name if isinstance(name, Sym) else ruby_to_s(name)
+        return i.call_method(recv, method_name, list(args[1:]), block, 0)
+
+    native(obj, "send", obj_send)
+    native(obj, "public_send", obj_send)
+
+    # -- conversion / display ---------------------------------------------
+    native(obj, "to_s", lambda i, r, a, b: RString(ruby_to_s(r)))
+    native(obj, "inspect", lambda i, r, a, b: RString(ruby_inspect(r)))
+    native(obj, "hash", lambda i, r, a, b: id(r) if isinstance(r, RObject) else hash(ruby_to_s(r)))
+    native(obj, "freeze", lambda i, r, a, b: (_freeze(r), r)[1])
+    native(obj, "frozen?", lambda i, r, a, b: bool(getattr(r, "frozen", False)))
+    native(obj, "dup", lambda i, r, a, b: _dup(r))
+    native(obj, "clone", lambda i, r, a, b: _dup(r))
+    native(obj, "tap", lambda i, r, a, b: (i.call_block(b, [r], 0), r)[1] if b else r)
+    native(obj, "itself", lambda i, r, a, b: r)
+
+    def obj_instance_variable_get(i, recv, args, block):
+        name = ruby_to_s(arg_or(args, 0))
+        if isinstance(recv, RObject):
+            return recv.ivars.get(name)
+        if isinstance(recv, RClass):
+            return recv.cvars.get(name)
+        return None
+
+    native(obj, "instance_variable_get", obj_instance_variable_get)
+
+    def obj_instance_variable_set(i, recv, args, block):
+        name = ruby_to_s(arg_or(args, 0))
+        value = arg_or(args, 1)
+        if isinstance(recv, RObject):
+            recv.ivars[name] = value
+        elif isinstance(recv, RClass):
+            recv.cvars[name] = value
+        return value
+
+    native(obj, "instance_variable_set", obj_instance_variable_set)
+
+    # -- Kernel output ------------------------------------------------------
+    def kernel_puts(i, recv, args, block):
+        if not args:
+            i.write_stdout("\n")
+        for arg in args:
+            if isinstance(arg, RArray):
+                for item in arg.items:
+                    i.write_stdout(ruby_to_s(item) + "\n")
+            else:
+                i.write_stdout(ruby_to_s(arg) + "\n")
+        return None
+
+    native(obj, "puts", kernel_puts)
+    native(obj, "print", lambda i, r, a, b: [i.write_stdout(ruby_to_s(x)) for x in a] and None)
+
+    def kernel_p(i, recv, args, block):
+        for arg in args:
+            i.write_stdout(ruby_inspect(arg) + "\n")
+        if len(args) == 1:
+            return args[0]
+        return RArray(list(args)) if args else None
+
+    native(obj, "p", kernel_p)
+    native(obj, "require", lambda i, r, a, b: True)
+    native(obj, "require_relative", lambda i, r, a, b: True)
+    def kernel_block_given(i, recv, args, block):
+        return bool(i.frame_stack and i.frame_stack[-1].block is not None)
+
+    native(obj, "block_given?", kernel_block_given)
+
+    def kernel_lambda(i, recv, args, block):
+        if block is None:
+            raise RubyError("ArgumentError", "tried to create Proc without a block")
+        block.is_lambda = True
+        return block
+
+    native(obj, "lambda", kernel_lambda)
+    native(obj, "proc", kernel_lambda)
+
+    def kernel_format(i, recv, args, block):
+        template = ruby_to_s(arg_or(args, 0))
+        values = [_py_val(v) for v in args[1:]]
+        try:
+            return RString(template % tuple(values))
+        except (TypeError, ValueError) as exc:
+            raise RubyError("ArgumentError", f"format: {exc}")
+
+    native(obj, "format", kernel_format)
+    native(obj, "sprintf", kernel_format)
+    native(obj, "Integer", lambda i, r, a, b: int(ruby_to_s(arg_or(a, 0))))
+    native(obj, "Float", lambda i, r, a, b: float(ruby_to_s(arg_or(a, 0))))
+    native(obj, "String", lambda i, r, a, b: RString(ruby_to_s(arg_or(a, 0))))
+    native(obj, "Array", lambda i, r, a, b: arg_or(a, 0) if isinstance(arg_or(a, 0), RArray) else RArray([] if arg_or(a, 0) is None else [arg_or(a, 0)]))
+
+    # -- class-level helpers (self is an RClass when these run) -------------
+    def module_attr(readable: bool, writable: bool):
+        def install(i, recv, args, block):
+            if not isinstance(recv, RClass):
+                raise RubyError("TypeError", "attr_* outside class body")
+            for arg in args:
+                name = arg.name if isinstance(arg, Sym) else ruby_to_s(arg)
+                if readable:
+                    def reader(i2, r2, a2, b2, _name=name):
+                        return r2.ivars.get("@" + _name) if isinstance(r2, RObject) else None
+                    recv.define(name, RMethod(name, native=reader))
+                if writable:
+                    def writer(i2, r2, a2, b2, _name=name):
+                        value = arg_or(a2, 0)
+                        if isinstance(r2, RObject):
+                            r2.ivars["@" + _name] = value
+                        return value
+                    recv.define(name + "=", RMethod(name + "=", native=writer))
+            return None
+        return install
+
+    native(obj, "attr_accessor", module_attr(True, True))
+    native(obj, "attr_reader", module_attr(True, False))
+    native(obj, "attr_writer", module_attr(False, True))
+
+    # -- RDL annotation directives ------------------------------------------
+    def rdl_type(i, recv, args, block):
+        if i.registry is not None:
+            i.registry.handle_type_directive(i, recv, list(args))
+        return None
+
+    native(obj, "type", rdl_type)
+
+    def rdl_var_type(i, recv, args, block):
+        if i.registry is not None:
+            i.registry.handle_var_type(i, recv, list(args))
+        return None
+
+    native(obj, "var_type", rdl_var_type)
+    native(obj, "global_type", rdl_var_type)
+
+    def rdl_comp_helper(i, recv, args, block):
+        if i.registry is not None:
+            i.registry.handle_comp_helper(i, recv, list(args))
+        return None
+
+    native(obj, "comp_helper", rdl_comp_helper)
+
+    def rdl_type_cast(i, recv, args, block):
+        # RDL.type_cast(e, "T") — at run time a cast is just its value
+        return arg_or(args, 0)
+
+    native(obj, "type_cast", rdl_type_cast)
+
+    def rdl_instantiate(i, recv, args, block):
+        return arg_or(args, 0)
+
+    native(obj, "instantiate!", rdl_instantiate)
+
+    # RDL namespace object: RDL.type_cast / RDL.db_schema etc.
+    rdl = interp.define_class("RDL", "Object")
+    native(rdl, "type_cast", rdl_type_cast, static=True)
+    native(rdl, "type", rdl_type, static=True)
+    native(rdl, "var_type", rdl_var_type, static=True)
+
+    def rdl_db_schema(i, recv, args, block):
+        if i.db is None:
+            return RHash()
+        return i.db.schema_hash()
+
+    native(rdl, "db_schema", rdl_db_schema, static=True)
+
+    def rdl_do_typecheck(i, recv, args, block):
+        if i.registry is not None:
+            label = arg_or(args, 0)
+            i.registry.request_typecheck(label.name if isinstance(label, Sym) else ruby_to_s(label))
+        return None
+
+    native(rdl, "do_typecheck", rdl_do_typecheck, static=True)
+
+    # -- Class static methods -------------------------------------------------
+    def class_new(i, recv, args, block):
+        if not isinstance(recv, RClass):
+            raise RubyError("TypeError", "new on non-class")
+        return i.new_instance(recv, list(args), block, 0)
+
+    obj.smethods["new"] = RMethod("new", native=class_new)
+    obj.smethods["name"] = RMethod("name", native=lambda i, r, a, b: RString(r.name))
+    obj.smethods["to_s"] = RMethod("to_s", native=lambda i, r, a, b: RString(r.name))
+    obj.smethods["superclass"] = RMethod(
+        "superclass", native=lambda i, r, a, b: r.superclass
+    )
+
+    # Exception instance methods
+    exc = interp.classes["Exception"]
+    native(exc, "message", lambda i, r, a, b: r.ivars.get("@message") or RString(""))
+    native(exc, "to_s", lambda i, r, a, b: r.ivars.get("@message") or RString(""))
+
+    # NilClass conveniences
+    nil_class = interp.classes["NilClass"]
+    native(nil_class, "to_s", lambda i, r, a, b: RString(""))
+    native(nil_class, "to_a", lambda i, r, a, b: RArray([]))
+    native(nil_class, "to_i", lambda i, r, a, b: 0)
+    native(nil_class, "inspect", lambda i, r, a, b: RString("nil"))
+    native(nil_class, "nil?", lambda i, r, a, b: True)
+
+    # Boolean operators usable as methods (λC's Bool.∧ example)
+    for bool_class_name in ("TrueClass", "FalseClass"):
+        bool_class = interp.classes[bool_class_name]
+        native(bool_class, "&", lambda i, r, a, b: bool(r) and bool(arg_or(a, 0) not in (None, False)))
+        native(bool_class, "|", lambda i, r, a, b: bool(r) or bool(arg_or(a, 0) not in (None, False)))
+        native(bool_class, "to_s", lambda i, r, a, b: RString("true" if r else "false"))
+
+
+def _freeze(value: object) -> None:
+    if isinstance(value, RString):
+        value.frozen = True
+
+
+def _dup(value: object):
+    if isinstance(value, RString):
+        return RString(value.val)
+    if isinstance(value, RArray):
+        return RArray(list(value.items))
+    if isinstance(value, RHash):
+        return RHash.from_pairs(value.pairs())
+    if isinstance(value, RObject) and not isinstance(value, RException):
+        clone = RObject(value.rclass)
+        clone.ivars = dict(value.ivars)
+        return clone
+    return value
+
+
+def _py_val(value: object):
+    if isinstance(value, RString):
+        return value.val
+    if isinstance(value, Sym):
+        return value.name
+    return value

@@ -1,0 +1,466 @@
+"""String native methods.
+
+Ruby strings are mutable; the mutating methods (``<<``, ``gsub!``,
+``replace``, ``[]=``, …) matter because CompRDL's *const string* types must
+weakly promote to plain ``String`` when a string is written to (§2.2, §4).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.rtypes.kinds import Sym
+from repro.runtime.errors import RubyError
+from repro.runtime.corelib.helpers import arg_or, as_int, as_str, call_block, native
+from repro.runtime.objects import RArray, RHash, RString, ruby_to_s
+from repro.runtime.interp import BreakSignal
+
+
+def _s(recv) -> str:
+    if not isinstance(recv, RString):
+        raise RubyError("TypeError", "String method on non-string")
+    return recv.val
+
+
+def _mutate(recv: RString, new_val: str) -> None:
+    if recv.frozen:
+        raise RubyError("FrozenError", "can't modify frozen String")
+    recv.val = new_val
+
+
+def install_string(interp) -> None:
+    string = interp.classes["String"]
+
+    # -- basics ------------------------------------------------------------
+    native(string, "+", lambda i, r, a, b: RString(_s(r) + as_str(arg_or(a, 0))))
+    native(string, "*", lambda i, r, a, b: RString(_s(r) * as_int(arg_or(a, 0))))
+    native(string, "%", _format)
+    native(string, "==", lambda i, r, a, b: isinstance(arg_or(a, 0), RString) and _s(r) == arg_or(a, 0).val)
+    native(string, "!=", lambda i, r, a, b: not (isinstance(arg_or(a, 0), RString) and _s(r) == arg_or(a, 0).val))
+    native(string, "eql?", lambda i, r, a, b: isinstance(arg_or(a, 0), RString) and _s(r) == arg_or(a, 0).val)
+    native(string, "<", lambda i, r, a, b: _s(r) < as_str(arg_or(a, 0)))
+    native(string, ">", lambda i, r, a, b: _s(r) > as_str(arg_or(a, 0)))
+    native(string, "<=", lambda i, r, a, b: _s(r) <= as_str(arg_or(a, 0)))
+    native(string, ">=", lambda i, r, a, b: _s(r) >= as_str(arg_or(a, 0)))
+    native(string, "<=>", _spaceship)
+    native(string, "length", lambda i, r, a, b: len(_s(r)))
+    native(string, "size", lambda i, r, a, b: len(_s(r)))
+    native(string, "bytesize", lambda i, r, a, b: len(_s(r).encode("utf-8")))
+    native(string, "empty?", lambda i, r, a, b: len(_s(r)) == 0)
+    native(string, "hash", lambda i, r, a, b: hash(_s(r)))
+
+    # -- element access -----------------------------------------------------
+    native(string, "[]", _index)
+    native(string, "slice", _index)
+    native(string, "[]=", _index_set)
+    native(string, "chr", lambda i, r, a, b: RString(_s(r)[0]) if _s(r) else RString(""))
+    native(string, "ord", lambda i, r, a, b: ord(_s(r)[0]) if _s(r) else _raise_empty())
+
+    # -- case ---------------------------------------------------------------
+    native(string, "upcase", lambda i, r, a, b: RString(_s(r).upper()))
+    native(string, "downcase", lambda i, r, a, b: RString(_s(r).lower()))
+    native(string, "capitalize", lambda i, r, a, b: RString(_s(r).capitalize()))
+    native(string, "swapcase", lambda i, r, a, b: RString(_s(r).swapcase()))
+    native(string, "upcase!", _mutator(lambda s: s.upper()))
+    native(string, "downcase!", _mutator(lambda s: s.lower()))
+    native(string, "capitalize!", _mutator(lambda s: s.capitalize()))
+    native(string, "swapcase!", _mutator(lambda s: s.swapcase()))
+    native(string, "casecmp", lambda i, r, a, b: _cmp3(_s(r).lower(), as_str(arg_or(a, 0)).lower()))
+    native(string, "casecmp?", lambda i, r, a, b: _s(r).lower() == as_str(arg_or(a, 0)).lower())
+
+    # -- whitespace -----------------------------------------------------------
+    native(string, "strip", lambda i, r, a, b: RString(_s(r).strip()))
+    native(string, "lstrip", lambda i, r, a, b: RString(_s(r).lstrip()))
+    native(string, "rstrip", lambda i, r, a, b: RString(_s(r).rstrip()))
+    native(string, "strip!", _mutator(lambda s: s.strip()))
+    native(string, "lstrip!", _mutator(lambda s: s.lstrip()))
+    native(string, "rstrip!", _mutator(lambda s: s.rstrip()))
+    native(string, "chomp", lambda i, r, a, b: RString(_chomp(_s(r), a)))
+    native(string, "chomp!", _mutator_args(_chomp))
+    native(string, "chop", lambda i, r, a, b: RString(_s(r)[:-1]))
+    native(string, "chop!", _mutator(lambda s: s[:-1]))
+    native(string, "squeeze", lambda i, r, a, b: RString(_squeeze(_s(r))))
+
+    # -- search --------------------------------------------------------------
+    native(string, "include?", lambda i, r, a, b: as_str(arg_or(a, 0)) in _s(r))
+    native(string, "start_with?", lambda i, r, a, b: any(_s(r).startswith(as_str(x)) for x in a))
+    native(string, "end_with?", lambda i, r, a, b: any(_s(r).endswith(as_str(x)) for x in a))
+    native(string, "index", _find_index)
+    native(string, "rindex", _find_rindex)
+    native(string, "count", lambda i, r, a, b: sum(_s(r).count(c) for c in as_str(arg_or(a, 0))))
+    native(string, "match", _match)
+    native(string, "match?", lambda i, r, a, b: _match(i, r, a, b) is not None)
+    native(string, "=~", lambda i, r, a, b: _match_pos(_s(r), arg_or(a, 0)))
+    native(string, "scan", _scan)
+
+    # -- substitution -----------------------------------------------------------
+    native(string, "sub", _sub(all_occurrences=False, mutate=False))
+    native(string, "sub!", _sub(all_occurrences=False, mutate=True))
+    native(string, "gsub", _sub(all_occurrences=True, mutate=False))
+    native(string, "gsub!", _sub(all_occurrences=True, mutate=True))
+    native(string, "tr", _tr)
+    native(string, "delete", lambda i, r, a, b: RString("".join(c for c in _s(r) if c not in as_str(arg_or(a, 0)))))
+    native(string, "delete_prefix", lambda i, r, a, b: RString(_s(r).removeprefix(as_str(arg_or(a, 0)))))
+    native(string, "delete_suffix", lambda i, r, a, b: RString(_s(r).removesuffix(as_str(arg_or(a, 0)))))
+
+    # -- building / mutation -------------------------------------------------
+    native(string, "<<", _append)
+    native(string, "concat", _append)
+    native(string, "replace", _replace)
+    native(string, "insert", _insert)
+    native(string, "prepend", lambda i, r, a, b: (_mutate(r, as_str(arg_or(a, 0)) + _s(r)), r)[1])
+    native(string, "clear", lambda i, r, a, b: (_mutate(r, ""), r)[1])
+    native(string, "center", _justify("center"))
+    native(string, "ljust", _justify("ljust"))
+    native(string, "rjust", _justify("rjust"))
+    native(string, "succ", _succ)
+    native(string, "next", _succ)
+
+    # -- conversion -------------------------------------------------------------
+    native(string, "to_s", lambda i, r, a, b: r)
+    native(string, "to_str", lambda i, r, a, b: r)
+    native(string, "to_sym", lambda i, r, a, b: Sym(_s(r)))
+    native(string, "intern", lambda i, r, a, b: Sym(_s(r)))
+    native(string, "to_i", _to_i)
+    native(string, "to_f", _to_f)
+    native(string, "inspect", lambda i, r, a, b: RString(repr(_s(r))))
+    native(string, "reverse", lambda i, r, a, b: RString(_s(r)[::-1]))
+    native(string, "reverse!", _mutator(lambda s: s[::-1]))
+    native(string, "hex", lambda i, r, a, b: int(_s(r), 16) if _s(r) else 0)
+    native(string, "oct", lambda i, r, a, b: int(_s(r), 8) if _s(r) else 0)
+    native(string, "freeze", lambda i, r, a, b: (setattr(r, "frozen", True), r)[1])
+    native(string, "frozen?", lambda i, r, a, b: r.frozen)
+    native(string, "dup", lambda i, r, a, b: RString(_s(r)))
+    native(string, "clone", lambda i, r, a, b: RString(_s(r), frozen=r.frozen))
+
+    # -- splitting / iterating ---------------------------------------------------
+    native(string, "split", _split)
+    native(string, "chars", lambda i, r, a, b: RArray([RString(c) for c in _s(r)]))
+    native(string, "bytes", lambda i, r, a, b: RArray(list(_s(r).encode("utf-8"))))
+    native(string, "lines", lambda i, r, a, b: RArray([RString(l) for l in _s(r).splitlines(keepends=True)]))
+    native(string, "each_char", _each_char)
+    native(string, "each_line", _each_line)
+    native(string, "partition", _partition)
+    native(string, "rpartition", _rpartition)
+
+
+def _raise_empty():
+    raise RubyError("ArgumentError", "empty string")
+
+
+def _cmp3(a, b):
+    return (a > b) - (a < b)
+
+
+def _spaceship(i, recv, args, block):
+    other = arg_or(args, 0)
+    if not isinstance(other, RString):
+        return None
+    return _cmp3(_s(recv), other.val)
+
+
+def _mutator(transform):
+    def fn(i, recv, args, block):
+        new_val = transform(_s(recv))
+        if new_val == recv.val:
+            return None
+        _mutate(recv, new_val)
+        return recv
+    return fn
+
+
+def _mutator_args(transform):
+    def fn(i, recv, args, block):
+        new_val = transform(_s(recv), args)
+        if new_val == recv.val:
+            return None
+        _mutate(recv, new_val)
+        return recv
+    return fn
+
+
+def _chomp(s: str, args) -> str:
+    suffix = args[0].val if args and isinstance(args[0], RString) else None
+    if suffix is not None:
+        return s.removesuffix(suffix)
+    return s.removesuffix("\n").removesuffix("\r")
+
+
+def _squeeze(s: str) -> str:
+    out = []
+    for ch in s:
+        if not out or out[-1] != ch:
+            out.append(ch)
+    return "".join(out)
+
+
+def _format(i, recv, args, block):
+    arg = arg_or(args, 0)
+    if isinstance(arg, RArray):
+        values = tuple(_py(v) for v in arg.items)
+    else:
+        values = (_py(arg),)
+    try:
+        return RString(_s(recv) % values)
+    except (TypeError, ValueError) as exc:
+        raise RubyError("ArgumentError", f"format error: {exc}")
+
+
+def _py(value):
+    if isinstance(value, RString):
+        return value.val
+    if isinstance(value, Sym):
+        return value.name
+    return value
+
+
+def _index(i, recv, args, block):
+    s = _s(recv)
+    first = arg_or(args, 0)
+    if isinstance(first, RString):
+        return RString(first.val) if first.val in s else None
+    start = as_int(first)
+    if start < 0:
+        start += len(s)
+    if len(args) >= 2:
+        length = as_int(args[1])
+        if start > len(s) or start < 0 or length < 0:
+            return None
+        return RString(s[start:start + length])
+    if 0 <= start < len(s):
+        return RString(s[start])
+    return None
+
+
+def _index_set(i, recv, args, block):
+    s = _s(recv)
+    first = args[0]
+    value = as_str(args[-1])
+    if isinstance(first, RString):
+        pos = s.find(first.val)
+        if pos < 0:
+            raise RubyError("IndexError", "string not matched")
+        _mutate(recv, s[:pos] + value + s[pos + len(first.val):])
+        return args[-1]
+    start = as_int(first)
+    if start < 0:
+        start += len(s)
+    length = as_int(args[1]) if len(args) == 3 else 1
+    _mutate(recv, s[:start] + value + s[start + length:])
+    return args[-1]
+
+
+def _find_index(i, recv, args, block):
+    pos = _s(recv).find(as_str(arg_or(args, 0)), as_int(arg_or(args, 1, 0)))
+    return pos if pos >= 0 else None
+
+
+def _find_rindex(i, recv, args, block):
+    pos = _s(recv).rfind(as_str(arg_or(args, 0)))
+    return pos if pos >= 0 else None
+
+
+def _pattern(value) -> str:
+    """Interpret the argument as a regex pattern (strings are literal)."""
+    if isinstance(value, RString):
+        return value.val
+    raise RubyError("TypeError", "expected a pattern string")
+
+
+def _match(i, recv, args, block):
+    try:
+        found = re.search(_pattern(arg_or(args, 0)), _s(recv))
+    except re.error as exc:
+        raise RubyError("RegexpError", str(exc))
+    if found is None:
+        return None
+    return RString(found.group(0))
+
+
+def _match_pos(s: str, pattern):
+    try:
+        found = re.search(_pattern(pattern), s)
+    except re.error as exc:
+        raise RubyError("RegexpError", str(exc))
+    return found.start() if found else None
+
+
+def _scan(i, recv, args, block):
+    try:
+        found = re.findall(_pattern(arg_or(args, 0)), _s(recv))
+    except re.error as exc:
+        raise RubyError("RegexpError", str(exc))
+    out = []
+    for item in found:
+        if isinstance(item, tuple):
+            out.append(RArray([RString(part) for part in item]))
+        else:
+            out.append(RString(item))
+    return RArray(out)
+
+
+def _sub(all_occurrences: bool, mutate: bool):
+    def fn(i, recv, args, block):
+        s = _s(recv)
+        pattern = arg_or(args, 0)
+        literal = isinstance(pattern, RString) and not _looks_like_regex(pattern.val)
+        if block is not None:
+            def repl(match):
+                return ruby_to_s(call_block(i, block, [RString(match.group(0))]))
+        else:
+            replacement = as_str(arg_or(args, 1, RString("")))
+            def repl(match):
+                return replacement
+        try:
+            regex = re.escape(pattern.val) if literal else _pattern(pattern)
+            new_val = re.sub(regex, repl, s, count=0 if all_occurrences else 1)
+        except re.error as exc:
+            raise RubyError("RegexpError", str(exc))
+        if mutate:
+            if new_val == s:
+                return None
+            _mutate(recv, new_val)
+            return recv
+        return RString(new_val)
+    return fn
+
+
+def _looks_like_regex(s: str) -> bool:
+    return any(ch in s for ch in "\\^$.|?*+()[]{}")
+
+
+def _tr(i, recv, args, block):
+    source = as_str(arg_or(args, 0))
+    target = as_str(arg_or(args, 1))
+    table = {}
+    for index, ch in enumerate(source):
+        table[ch] = target[min(index, len(target) - 1)] if target else ""
+    return RString("".join(table.get(c, c) for c in _s(recv)))
+
+
+def _append(i, recv, args, block):
+    addition = arg_or(args, 0)
+    if isinstance(addition, int) and not isinstance(addition, bool):
+        addition = chr(addition)
+    else:
+        addition = ruby_to_s(addition)
+    _mutate(recv, _s(recv) + addition)
+    return recv
+
+
+def _replace(i, recv, args, block):
+    _mutate(recv, as_str(arg_or(args, 0)))
+    return recv
+
+
+def _insert(i, recv, args, block):
+    index = as_int(arg_or(args, 0))
+    value = as_str(arg_or(args, 1))
+    s = _s(recv)
+    if index < 0:
+        index += len(s) + 1
+    _mutate(recv, s[:index] + value + s[index:])
+    return recv
+
+
+def _justify(mode: str):
+    def fn(i, recv, args, block):
+        width = as_int(arg_or(args, 0))
+        pad = as_str(arg_or(args, 1, RString(" ")))
+        s = _s(recv)
+        if len(s) >= width or not pad:
+            return RString(s)
+        total = width - len(s)
+        if mode == "ljust":
+            return RString(s + _pad_to(pad, total))
+        if mode == "rjust":
+            return RString(_pad_to(pad, total) + s)
+        left = total // 2
+        return RString(_pad_to(pad, left) + s + _pad_to(pad, total - left))
+    return fn
+
+
+def _pad_to(pad: str, n: int) -> str:
+    return (pad * (n // len(pad) + 1))[:n]
+
+
+def _succ(i, recv, args, block):
+    s = _s(recv)
+    if not s:
+        return RString("")
+    last = s[-1]
+    if last.isalnum():
+        if last in ("z", "Z", "9"):
+            wrap = {"z": "a", "Z": "A", "9": "0"}[last]
+            return RString(_s(RString(s[:-1])) + wrap + "?") if not s[:-1] else RString(
+                ruby_to_s(_succ(i, RString(s[:-1]), [], None)) + wrap
+            )
+        return RString(s[:-1] + chr(ord(last) + 1))
+    return RString(s[:-1] + chr(ord(last) + 1))
+
+
+def _to_i(i, recv, args, block):
+    s = _s(recv).strip()
+    match = re.match(r"[+-]?\d+", s)
+    return int(match.group(0)) if match else 0
+
+
+def _to_f(i, recv, args, block):
+    s = _s(recv).strip()
+    match = re.match(r"[+-]?\d+(\.\d+)?", s)
+    return float(match.group(0)) if match else 0.0
+
+
+def _split(i, recv, args, block):
+    s = _s(recv)
+    sep = arg_or(args, 0)
+    limit = arg_or(args, 1)
+    if sep is None:
+        parts = s.split()
+    else:
+        sep_str = as_str(sep)
+        if sep_str == " ":
+            parts = s.split()
+        elif _looks_like_regex(sep_str):
+            parts = re.split(sep_str, s)
+        else:
+            parts = s.split(sep_str)
+    if limit is None:
+        while parts and parts[-1] == "":
+            parts.pop()
+    return RArray([RString(p) for p in parts])
+
+
+def _each_char(i, recv, args, block):
+    if block is None:
+        return RArray([RString(c) for c in _s(recv)])
+    try:
+        for ch in _s(recv):
+            call_block(i, block, [RString(ch)])
+    except BreakSignal as brk:
+        return brk.value
+    return recv
+
+
+def _each_line(i, recv, args, block):
+    lines = [RString(l) for l in _s(recv).splitlines(keepends=True)]
+    if block is None:
+        return RArray(lines)
+    try:
+        for line in lines:
+            call_block(i, block, [line])
+    except BreakSignal as brk:
+        return brk.value
+    return recv
+
+
+def _partition(i, recv, args, block):
+    sep = as_str(arg_or(args, 0))
+    before, found, after = _s(recv).partition(sep)
+    return RArray([RString(before), RString(found), RString(after)])
+
+
+def _rpartition(i, recv, args, block):
+    sep = as_str(arg_or(args, 0))
+    before, found, after = _s(recv).rpartition(sep)
+    return RArray([RString(before), RString(found), RString(after)])

@@ -1,0 +1,27 @@
+"""Runtime error types, including blame for failed dynamic checks."""
+
+from __future__ import annotations
+
+
+class RubyError(Exception):
+    """A mini-Ruby runtime error (NoMethodError, NameError, ...)."""
+
+    def __init__(self, kind: str, message: str, line: int = 0):
+        location = f" (line {line})" if line else ""
+        super().__init__(f"{kind}: {message}{location}")
+        self.kind = kind
+        self.message = message
+        self.line = line
+
+
+class Blame(RubyError):
+    """A dynamic check inserted by CompRDL failed at run time (§3.3).
+
+    Raised either when a comp-type-annotated library method returns a value
+    outside its computed return type, or when re-evaluating a comp type at
+    call time yields a different type than it did during type checking
+    (mutable-state consistency, §4).
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__("Blame", message, line)

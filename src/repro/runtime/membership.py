@@ -1,0 +1,156 @@
+"""Runtime type membership: does a value inhabit an RDL type?
+
+This is the predicate behind the dynamic checks CompRDL inserts at calls to
+comp-type-annotated methods (§2.4): ``⌈A⌉e.m(e)`` reduces to blame unless
+the returned value is a member of ``A``.
+"""
+
+from __future__ import annotations
+
+from repro.rtypes import (
+    AnyType,
+    BotType,
+    BoundArg,
+    CompExpr,
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    MethodType,
+    NominalType,
+    OptionalArg,
+    RType,
+    SingletonType,
+    TupleType,
+    UnionType,
+    VarType,
+)
+from repro.rtypes.kinds import ClassRef, Sym
+from repro.runtime.objects import RArray, RBlock, RClass, RHash, RObject, RString
+
+
+def value_has_type(interp, value: object, rtype: RType) -> bool:
+    """Check value membership in ``rtype`` under ``interp``'s class table."""
+    if isinstance(rtype, (AnyType, VarType)):
+        return True
+    if isinstance(rtype, BotType):
+        return False
+    if isinstance(rtype, UnionType):
+        return any(value_has_type(interp, value, t) for t in rtype.types)
+    if isinstance(rtype, OptionalArg):
+        return value is None or value_has_type(interp, value, rtype.inner)
+    if isinstance(rtype, CompExpr):
+        return value_has_type(interp, value, rtype.bound)
+    if isinstance(rtype, BoundArg):
+        return value_has_type(interp, value, rtype.bound)
+    if isinstance(rtype, SingletonType):
+        return _singleton_member(value, rtype)
+    if isinstance(rtype, ConstStringType):
+        if not isinstance(value, RString):
+            return False
+        return rtype.is_promoted or value.val == rtype.value
+    if isinstance(rtype, NominalType):
+        return _nominal_member(interp, value, rtype.name)
+    if isinstance(rtype, GenericType):
+        return _generic_member(interp, value, rtype)
+    if isinstance(rtype, TupleType):
+        return (
+            isinstance(value, RArray)
+            and len(value.items) == len(rtype.elts)
+            and all(value_has_type(interp, v, t) for v, t in zip(value.items, rtype.elts))
+        )
+    if isinstance(rtype, FiniteHashType):
+        return _finite_hash_member(interp, value, rtype)
+    if isinstance(rtype, MethodType):
+        return isinstance(value, RBlock)
+    return False
+
+
+def _singleton_member(value: object, rtype: SingletonType) -> bool:
+    expected = rtype.value
+    if isinstance(expected, ClassRef):
+        return isinstance(value, RClass) and value.name == expected.name
+    if expected is None:
+        return value is None
+    if expected is True or expected is False:
+        return value is expected
+    if isinstance(expected, Sym):
+        return isinstance(value, Sym) and value.name == expected.name
+    if isinstance(expected, (int, float)):
+        return (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value == expected
+        )
+    if isinstance(expected, str):
+        return isinstance(value, RString) and value.val == expected
+    return False
+
+
+def _nominal_member(interp, value: object, name: str) -> bool:
+    if name in ("Object", "BasicObject"):
+        return True
+    if name == "Boolean":
+        return value is True or value is False
+    if name == "%bool":
+        return value is True or value is False
+    # foreign (Python-side) objects may advertise their own class name
+    advertised = getattr(value, "comprdl_class_name", None)
+    if advertised is not None:
+        klass = interp.classes.get(advertised)
+        while klass is not None:
+            if klass.name == name:
+                return True
+            klass = klass.superclass
+        return advertised == name
+    rclass = interp.class_of(value)
+    return any(a.name == name for a in rclass.ancestors())
+
+
+def _generic_member(interp, value: object, rtype: GenericType) -> bool:
+    if rtype.base == "Array":
+        return isinstance(value, RArray) and all(
+            value_has_type(interp, v, rtype.params[0]) for v in value.items
+        )
+    if rtype.base == "Hash":
+        if not isinstance(value, RHash):
+            return False
+        key_t, value_t = rtype.params
+        return all(
+            value_has_type(interp, k, key_t) and value_has_type(interp, v, value_t)
+            for k, v in value.pairs()
+        )
+    if rtype.base == "Table":
+        # Table<S>: the ORM relation advertises its schema for checking
+        schema_check = getattr(value, "comprdl_check_table", None)
+        if schema_check is not None:
+            return schema_check(interp, rtype.params[0])
+        return _nominal_member(interp, value, "Table")
+    return _nominal_member(interp, value, rtype.base)
+
+
+def _finite_hash_member(interp, value: object, rtype: FiniteHashType) -> bool:
+    if not isinstance(value, RHash):
+        return False
+    seen = set()
+    for key, entry_value in value.pairs():
+        norm = key.name if isinstance(key, Sym) else (
+            key.val if isinstance(key, RString) else key
+        )
+        matched = None
+        for type_key in rtype.elts:
+            type_norm = type_key.name if isinstance(type_key, Sym) else type_key
+            if type_norm == norm:
+                matched = rtype.elts[type_key]
+                break
+        if matched is None:
+            if rtype.rest is None or not value_has_type(interp, entry_value, rtype.rest):
+                return False
+        else:
+            seen.add(norm)
+            if not value_has_type(interp, entry_value, matched):
+                return False
+    for type_key in rtype.elts:
+        type_norm = type_key.name if isinstance(type_key, Sym) else type_key
+        if type_norm not in seen and type_key not in rtype.optional_keys:
+            return False
+    return True

@@ -1,0 +1,23 @@
+"""A type checker (and evaluator) for a subset of SQL (§2.3).
+
+Raw SQL appears inside ``where`` calls as string fragments.  Following the
+paper, a fragment is wrapped into a complete-but-artificial query (never
+run, just parsed), ``?`` placeholders become typed placeholder AST nodes,
+and the WHERE clause is checked against the database schema.  The evaluator
+additionally *runs* fragments against the in-memory DB so that checked apps
+execute for the overhead measurements.
+"""
+
+from repro.sqltc.parser import SqlParseError, parse_query, parse_where_fragment
+from repro.sqltc.checker import SqlTypeError, check_fragment, wrap_fragment
+from repro.sqltc.evaluator import eval_where_fragment
+
+__all__ = [
+    "SqlParseError",
+    "SqlTypeError",
+    "check_fragment",
+    "eval_where_fragment",
+    "parse_query",
+    "parse_where_fragment",
+    "wrap_fragment",
+]

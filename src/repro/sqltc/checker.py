@@ -1,0 +1,182 @@
+"""SQL type checking against the database schema (§2.3).
+
+The checker assigns each operand a column kind (``integer``/``string``/
+``boolean``/``float``) and requires comparisons and ``IN`` memberships to be
+kind-compatible.  The paper's Fig. 3 bug — ``topics.title IN (SELECT
+topic_id ...)`` where ``title`` is a string but the subquery yields integers
+— is exactly what this catches.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import Database
+from repro.sqltc.parser import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InCondition,
+    IsNull,
+    Literal,
+    NotOp,
+    Placeholder,
+    Query,
+    parse_where_fragment,
+)
+
+
+class SqlTypeError(Exception):
+    """A type error inside a SQL query or fragment."""
+
+
+_NUMERIC = {"integer", "float"}
+
+
+def wrap_fragment(fragment: str, tables: list[str]) -> str:
+    """Build the complete-but-artificial query of §2.3 for a fragment.
+
+    The query is never executed; it exists so a standard parser accepts the
+    fragment.  Join columns are arbitrary (``a.id = b.a_id``) because the
+    checker only inspects the WHERE clause.
+    """
+    base = tables[0] if tables else "t"
+    sql = f"SELECT * FROM {base}"
+    for table in tables[1:]:
+        sql += f" INNER JOIN {table} ON a.id = b.a_id"
+    sql += f" WHERE {fragment}"
+    return sql
+
+
+class SqlChecker:
+    """Checks conditions against a schema scope."""
+
+    def __init__(self, db: Database, scope_tables: list[str],
+                 placeholder_kinds: list[str]):
+        self.db = db
+        self.scope_tables = scope_tables
+        self.placeholder_kinds = placeholder_kinds
+
+    # ------------------------------------------------------------------
+    def check_query(self, query: Query) -> list[str]:
+        """Check a query; returns the kinds of its selected columns."""
+        scope = [query.table] + [j.table for j in query.joins]
+        for table in scope:
+            if self.db.schema_of(table) is None:
+                raise SqlTypeError(f"unknown table '{table}'")
+        inner = SqlChecker(self.db, scope, self.placeholder_kinds)
+        if query.where is not None:
+            inner.check_condition(query.where)
+        if query.select == ["*"]:
+            schema = self.db.schema_of(query.table)
+            return [c.kind for c in schema.columns.values()]
+        return [inner.operand_kind(col) for col in query.select]
+
+    def check_condition(self, cond) -> None:
+        if isinstance(cond, BoolOp):
+            self.check_condition(cond.left)
+            self.check_condition(cond.right)
+            return
+        if isinstance(cond, NotOp):
+            self.check_condition(cond.operand)
+            return
+        if isinstance(cond, Comparison):
+            left = self.operand_kind(cond.left)
+            right = self.operand_kind(cond.right)
+            if not _compatible(left, right):
+                raise SqlTypeError(
+                    f"type mismatch: {_show(cond.left)} ({left}) {cond.op} "
+                    f"{_show(cond.right)} ({right})"
+                )
+            if cond.op in ("<", ">", "<=", ">=") and "boolean" in (left, right):
+                raise SqlTypeError(
+                    f"cannot order booleans: {_show(cond.left)} {cond.op} "
+                    f"{_show(cond.right)}"
+                )
+            return
+        if isinstance(cond, InCondition):
+            member = self.operand_kind(cond.operand)
+            if cond.subquery is not None:
+                selected = self.check_query(cond.subquery)
+                if len(selected) != 1:
+                    raise SqlTypeError(
+                        "IN subquery must select exactly one column"
+                    )
+                if not _compatible(member, selected[0]):
+                    raise SqlTypeError(
+                        f"type mismatch: {_show(cond.operand)} ({member}) IN "
+                        f"subquery returning {selected[0]}"
+                    )
+            else:
+                for value in cond.values:
+                    kind = self.operand_kind(value)
+                    if not _compatible(member, kind):
+                        raise SqlTypeError(
+                            f"type mismatch: {_show(cond.operand)} ({member}) "
+                            f"IN list containing {kind}"
+                        )
+            return
+        if isinstance(cond, IsNull):
+            self.operand_kind(cond.operand)
+            return
+        raise SqlTypeError(f"unsupported condition {cond!r}")
+
+    # ------------------------------------------------------------------
+    def operand_kind(self, operand) -> str:
+        if isinstance(operand, Literal):
+            return operand.kind
+        if isinstance(operand, Placeholder):
+            if operand.index < len(self.placeholder_kinds):
+                return self.placeholder_kinds[operand.index]
+            raise SqlTypeError(
+                f"no argument supplied for placeholder #{operand.index + 1}"
+            )
+        if isinstance(operand, ColumnRef):
+            return self.column_kind(operand)
+        raise SqlTypeError(f"unsupported operand {operand!r}")
+
+    def column_kind(self, ref: ColumnRef) -> str:
+        if ref.table is not None:
+            schema = self.db.schema_of(ref.table)
+            if schema is None:
+                raise SqlTypeError(f"unknown table '{ref.table}'")
+            column = schema.column(ref.column)
+            if column is None:
+                raise SqlTypeError(
+                    f"unknown column '{ref.column}' in table '{ref.table}'"
+                )
+            return column.kind
+        for table in self.scope_tables:
+            schema = self.db.schema_of(table)
+            if schema is not None:
+                column = schema.column(ref.column)
+                if column is not None:
+                    return column.kind
+        raise SqlTypeError(f"unknown column '{ref.column}'")
+
+
+def _compatible(a: str, b: str) -> bool:
+    if a == "null" or b == "null":
+        return True
+    if a in _NUMERIC and b in _NUMERIC:
+        return True
+    return a == b
+
+
+def _show(operand) -> str:
+    if isinstance(operand, ColumnRef):
+        return f"{operand.table}.{operand.column}" if operand.table else operand.column
+    if isinstance(operand, Literal):
+        return repr(operand.value)
+    if isinstance(operand, Placeholder):
+        return f"?{operand.index + 1}"
+    return repr(operand)
+
+
+def check_fragment(db: Database, tables: list[str], fragment: str,
+                   placeholder_kinds: list[str]) -> None:
+    """Type check a raw WHERE fragment in the scope of ``tables``.
+
+    Raises :class:`SqlTypeError` (or ``SqlParseError``) on failure.
+    """
+    condition = parse_where_fragment(fragment)
+    checker = SqlChecker(db, tables, placeholder_kinds)
+    checker.check_condition(condition)

@@ -1,0 +1,118 @@
+"""Execution of raw-SQL WHERE fragments over the in-memory database.
+
+The type checker never runs queries; this evaluator exists so the subject
+apps (whose methods contain raw-SQL ``where`` calls) actually *run* for the
+dynamic-check overhead measurements of Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import Database
+from repro.sqltc.parser import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InCondition,
+    IsNull,
+    Literal,
+    NotOp,
+    Placeholder,
+    Query,
+    parse_where_fragment,
+)
+
+
+def eval_where_fragment(db: Database, base_table: str, joins, fragment: str,
+                        args: tuple, row: dict) -> bool:
+    """Does ``row`` (from ``base_table`` joined with ``joins``) satisfy the
+    fragment?  ``__not__`` is the internal marker for negated hash
+    conditions produced by ``where.not`` / ``exclude``."""
+    if fragment == "__not__":
+        from repro.db.engine import QueryEngine
+
+        conditions = args[0] if args else {}
+        return not QueryEngine(db)._matches(row, dict(conditions))
+    condition = parse_where_fragment(fragment)
+    scope = [base_table] + list(joins)
+    return _eval(db, scope, condition, args, row)
+
+
+def _eval(db: Database, scope: list[str], cond, args: tuple, row: dict) -> bool:
+    if isinstance(cond, BoolOp):
+        if cond.op == "AND":
+            return _eval(db, scope, cond.left, args, row) and \
+                _eval(db, scope, cond.right, args, row)
+        return _eval(db, scope, cond.left, args, row) or \
+            _eval(db, scope, cond.right, args, row)
+    if isinstance(cond, NotOp):
+        return not _eval(db, scope, cond.operand, args, row)
+    if isinstance(cond, Comparison):
+        left = _value(db, scope, cond.left, args, row)
+        right = _value(db, scope, cond.right, args, row)
+        return _compare(cond.op, left, right)
+    if isinstance(cond, InCondition):
+        member = _value(db, scope, cond.operand, args, row)
+        if cond.subquery is not None:
+            values = _run_subquery(db, cond.subquery, args)
+        else:
+            values = [_value(db, scope, v, args, row) for v in cond.values]
+        result = member in values
+        return not result if cond.negated else result
+    if isinstance(cond, IsNull):
+        value = _value(db, scope, cond.operand, args, row)
+        return (value is not None) if cond.negated else (value is None)
+    raise ValueError(f"cannot evaluate condition {cond!r}")
+
+
+def _value(db: Database, scope: list[str], operand, args: tuple, row: dict):
+    if isinstance(operand, Literal):
+        return operand.value
+    if isinstance(operand, Placeholder):
+        return args[operand.index] if operand.index < len(args) else None
+    if isinstance(operand, ColumnRef):
+        if operand.table is not None:
+            # joined rows nest the joined table's values under its name;
+            # the base table's own columns live at top level
+            nested = row.get(operand.table)
+            if isinstance(nested, dict):
+                return nested.get(operand.column)
+            if operand.table == scope[0]:
+                return row.get(operand.column)
+            # correlated reference: fall back to top level
+            return row.get(operand.column)
+        return row.get(operand.column)
+    raise ValueError(f"cannot evaluate operand {operand!r}")
+
+
+def _run_subquery(db: Database, query: Query, args: tuple) -> list:
+    rows = db.all_rows(query.table)
+    out = []
+    for row in rows:
+        if query.where is None or _eval(db, [query.table], query.where, args, row):
+            if query.select == ["*"]:
+                out.append(row.get("id"))
+            else:
+                ref = query.select[0]
+                out.append(row.get(ref.column))
+    return out
+
+
+def _compare(op: str, left, right) -> bool:
+    try:
+        if op == "=":
+            return left == right
+        if op in ("<>", "!="):
+            return left != right
+        if left is None or right is None:
+            return False
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise ValueError(f"unknown comparison {op}")

@@ -1,0 +1,311 @@
+"""Lexer and parser for the SQL subset.
+
+Supported shape::
+
+    SELECT col | * FROM table
+      [INNER JOIN table ON qual = qual]*
+      [WHERE condition]
+
+    condition := cond OR cond | cond AND cond | NOT cond | (cond)
+               | operand (= | <> | != | < | > | <= | >=) operand
+               | operand IN (subquery | value, ...)
+               | operand IS [NOT] NULL
+    operand   := table.column | column | literal | ?
+
+``?`` placeholders carry an index so the checker can type them from the
+extra arguments to ``where`` (§2.3).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+class SqlParseError(Exception):
+    """Raised when the SQL subset parser rejects a query."""
+
+
+# -- AST --------------------------------------------------------------------
+
+@dataclass
+class ColumnRef:
+    table: str | None
+    column: str
+
+
+@dataclass
+class Literal:
+    value: object
+    kind: str  # "integer" | "string" | "boolean" | "float" | "null"
+
+
+@dataclass
+class Placeholder:
+    index: int
+
+
+@dataclass
+class Comparison:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass
+class InCondition:
+    operand: object
+    subquery: "Query | None" = None
+    values: list = field(default_factory=list)
+    negated: bool = False
+
+
+@dataclass
+class IsNull:
+    operand: object
+    negated: bool = False
+
+
+@dataclass
+class BoolOp:
+    op: str  # "AND" | "OR"
+    left: object
+    right: object
+
+
+@dataclass
+class NotOp:
+    operand: object
+
+
+@dataclass
+class Join:
+    table: str
+    on_left: ColumnRef | None = None
+    on_right: ColumnRef | None = None
+
+
+@dataclass
+class Query:
+    select: list  # list[ColumnRef] or ["*"]
+    table: str
+    joins: list = field(default_factory=list)
+    where: object | None = None
+
+
+# -- lexer --------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<string>'(?:[^']|'')*')"
+    r"|(?P<float>\d+\.\d+)"
+    r"|(?P<int>\d+)"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><>|<=|>=|!=|=|<|>|\(|\)|,|\*|\?|\.)"
+    r")"
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "inner", "join", "on", "and", "or", "not",
+    "in", "is", "null", "true", "false", "exists",
+}
+
+
+def tokenize(sql: str) -> list[tuple[str, object]]:
+    tokens: list[tuple[str, object]] = []
+    pos = 0
+    placeholder_index = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            if sql[pos:].strip() == "":
+                break
+            raise SqlParseError(f"bad SQL near {sql[pos:pos + 20]!r}")
+        pos = match.end()
+        if match.lastgroup == "string":
+            tokens.append(("string", match.group("string")[1:-1].replace("''", "'")))
+        elif match.lastgroup == "float":
+            tokens.append(("float", float(match.group("float"))))
+        elif match.lastgroup == "int":
+            tokens.append(("int", int(match.group("int"))))
+        elif match.lastgroup == "word":
+            word = match.group("word")
+            if word.lower() in _KEYWORDS:
+                tokens.append(("kw", word.lower()))
+            else:
+                tokens.append(("ident", word))
+        else:
+            op = match.group("op")
+            if op == "?":
+                tokens.append(("placeholder", placeholder_index))
+                placeholder_index += 1
+            else:
+                tokens.append(("op", op))
+    tokens.append(("eof", None))
+    return tokens
+
+
+# -- parser -----------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, object]]):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> tuple[str, object]:
+        return self.tokens[self.index]
+
+    def next(self) -> tuple[str, object]:
+        token = self.tokens[self.index]
+        if token[0] != "eof":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str, value: object = None) -> bool:
+        token = self.peek()
+        if token[0] == kind and (value is None or token[1] == value):
+            self.next()
+            return True
+        return False
+
+    def expect(self, kind: str, value: object = None) -> object:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise SqlParseError(f"expected {value or kind}, found {token[1]!r}")
+        return token[1]
+
+    # query := SELECT ... FROM ... [joins] [WHERE ...]
+    def query(self) -> Query:
+        self.expect("kw", "select")
+        select: list = []
+        if self.accept("op", "*"):
+            select = ["*"]
+        else:
+            select.append(self.column_ref())
+            while self.accept("op", ","):
+                select.append(self.column_ref())
+        self.expect("kw", "from")
+        table = str(self.expect("ident"))
+        joins: list[Join] = []
+        while self.peek() == ("kw", "inner") or self.peek() == ("kw", "join"):
+            self.accept("kw", "inner")
+            self.expect("kw", "join")
+            join_table = str(self.expect("ident"))
+            join = Join(join_table)
+            if self.accept("kw", "on"):
+                join.on_left = self.column_ref()
+                self.expect("op", "=")
+                join.on_right = self.column_ref()
+            joins.append(join)
+        where = None
+        if self.accept("kw", "where"):
+            where = self.condition()
+        return Query(select, table, joins, where)
+
+    def column_ref(self) -> ColumnRef:
+        first = str(self.expect("ident"))
+        if self.accept("op", "."):
+            return ColumnRef(first, str(self.expect("ident")))
+        return ColumnRef(None, first)
+
+    # conditions ---------------------------------------------------------
+    def condition(self):
+        left = self.and_condition()
+        while self.accept("kw", "or"):
+            left = BoolOp("OR", left, self.and_condition())
+        return left
+
+    def and_condition(self):
+        left = self.not_condition()
+        while self.accept("kw", "and"):
+            left = BoolOp("AND", left, self.not_condition())
+        return left
+
+    def not_condition(self):
+        if self.accept("kw", "not"):
+            return NotOp(self.not_condition())
+        return self.primary_condition()
+
+    def primary_condition(self):
+        if self.accept("op", "("):
+            inner = self.condition()
+            self.expect("op", ")")
+            return inner
+        operand = self.operand()
+        token = self.peek()
+        if token[0] == "op" and token[1] in ("=", "<>", "!=", "<", ">", "<=", ">="):
+            op = str(self.next()[1])
+            return Comparison(op, operand, self.operand())
+        if token == ("kw", "not"):
+            self.next()
+            self.expect("kw", "in")
+            return self._in_condition(operand, negated=True)
+        if token == ("kw", "in"):
+            self.next()
+            return self._in_condition(operand, negated=False)
+        if token == ("kw", "is"):
+            self.next()
+            negated = self.accept("kw", "not")
+            self.expect("kw", "null")
+            return IsNull(operand, negated)
+        raise SqlParseError(f"expected a condition operator, found {token[1]!r}")
+
+    def _in_condition(self, operand, negated: bool) -> InCondition:
+        self.expect("op", "(")
+        if self.peek() == ("kw", "select"):
+            sub = self.query()
+            self.expect("op", ")")
+            return InCondition(operand, subquery=sub, negated=negated)
+        values = [self.operand()]
+        while self.accept("op", ","):
+            values.append(self.operand())
+        self.expect("op", ")")
+        return InCondition(operand, values=values, negated=negated)
+
+    def operand(self):
+        token = self.peek()
+        if token[0] == "placeholder":
+            self.next()
+            return Placeholder(int(token[1]))
+        if token[0] == "string":
+            self.next()
+            return Literal(token[1], "string")
+        if token[0] == "int":
+            self.next()
+            return Literal(token[1], "integer")
+        if token[0] == "float":
+            self.next()
+            return Literal(token[1], "float")
+        if token == ("kw", "true"):
+            self.next()
+            return Literal(True, "boolean")
+        if token == ("kw", "false"):
+            self.next()
+            return Literal(False, "boolean")
+        if token == ("kw", "null"):
+            self.next()
+            return Literal(None, "null")
+        if token[0] == "ident":
+            return self.column_ref()
+        raise SqlParseError(f"expected an operand, found {token[1]!r}")
+
+    def at_end(self) -> bool:
+        return self.peek()[0] == "eof"
+
+
+def parse_query(sql: str) -> Query:
+    """Parse a complete SELECT query."""
+    parser = _Parser(tokenize(sql))
+    query = parser.query()
+    if not parser.at_end():
+        raise SqlParseError("trailing tokens after query")
+    return query
+
+
+def parse_where_fragment(fragment: str):
+    """Parse a bare WHERE-clause fragment (the raw SQL inside ``where``)."""
+    parser = _Parser(tokenize(fragment))
+    condition = parser.condition()
+    if not parser.at_end():
+        raise SqlParseError("trailing tokens after condition")
+    return condition

@@ -1,0 +1,18 @@
+"""RDL-style static type checking for mini-Ruby, extended with comp types.
+
+``repro.typecheck`` implements the checker itself; comp type evaluation,
+termination analysis and dynamic-check insertion live in :mod:`repro.comp`.
+The public entry point for end users is :class:`repro.api.CompRDL`.
+"""
+
+from repro.typecheck.errors import StaticTypeError, TypeErrorReport
+from repro.typecheck.registry import AnnotationRegistry
+from repro.typecheck.checker import CheckerConfig, TypeChecker
+
+__all__ = [
+    "AnnotationRegistry",
+    "CheckerConfig",
+    "StaticTypeError",
+    "TypeChecker",
+    "TypeErrorReport",
+]

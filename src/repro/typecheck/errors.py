@@ -1,0 +1,42 @@
+"""Static type errors and reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class StaticTypeError(Exception):
+    """A static type error found while checking a method body."""
+
+    def __init__(self, message: str, line: int = 0, method: str = ""):
+        where = f" in {method}" if method else ""
+        at = f" (line {line})" if line else ""
+        super().__init__(f"{message}{where}{at}")
+        self.message = message
+        self.line = line
+        self.method = method
+
+
+class TerminationError(StaticTypeError):
+    """Type-level code failed the termination check (§4, Fig. 6)."""
+
+
+@dataclass
+class TypeErrorReport:
+    """Collected results of checking a set of methods."""
+
+    checked_methods: list[str] = field(default_factory=list)
+    errors: list[StaticTypeError] = field(default_factory=list)
+    casts_used: int = 0
+    oracle_casts: int = 0  # casts auto-inserted in RDL (no-comp-types) mode
+
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        lines = [
+            f"checked {len(self.checked_methods)} methods: "
+            f"{len(self.errors)} errors, {self.casts_used} casts"
+        ]
+        lines.extend(f"  - {e}" for e in self.errors)
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Integration tests over the six Table 2 subject programs."""
+
+import pytest
+
+from repro.apps import all_apps
+
+APPS = {app.name: app for app in all_apps()}
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_app_checks_with_expected_errors(name):
+    app = APPS[name]
+    rdl = app.build()
+    report = rdl.check(app.label)
+    assert len(report.errors) == app.expected_errors, report.summary()
+    assert len(report.checked_methods) > 0
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_app_test_suite_runs_without_checks(name):
+    app = APPS[name]
+    rdl = app.build()
+    rdl.check(app.label)
+    assert rdl.run(app.test_suite, checks=False) is not None
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_app_test_suite_runs_with_checks(name):
+    """Dynamic checks pass on all well-typed paths (no spurious blame)."""
+    app = APPS[name]
+    rdl = app.build()
+    rdl.check(app.label)
+    assert rdl.run(app.test_suite, checks=True) is not None
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_comp_casts_fewer_than_rdl(name):
+    app = APPS[name]
+    rdl = app.build()
+    report = rdl.check(app.label)
+    known = {e.method for e in report.errors}
+    plain = app.build(use_comp_types=False, repair_with_casts=True,
+                      insert_checks=False)
+    plain.config.known_errors = known
+    plain_report = plain.check(app.label)
+    assert report.casts_used <= plain_report.casts_used + plain_report.oracle_casts
+
+
+def test_codeorg_documentation_error():
+    rdl = APPS["Code.org"].build()
+    report = rdl.check("codeorg")
+    messages = [str(e) for e in report.errors]
+    assert any("current_user" in m and "User" in m for m in messages)
+
+
+def test_journey_undefined_constant_bug():
+    rdl = APPS["Journey"].build()
+    report = rdl.check("journey")
+    messages = [str(e) for e in report.errors]
+    assert any("uninitialized constant Field" in m for m in messages)
+
+
+def test_journey_prompt_bug():
+    rdl = APPS["Journey"].build()
+    report = rdl.check("journey")
+    messages = [str(e) for e in report.errors]
+    assert any("Array<String>" in m and "link_to" in m for m in messages)
+
+
+def test_total_errors_match_paper():
+    total = 0
+    for app in all_apps():
+        rdl = app.build()
+        total += len(rdl.check(app.label).errors)
+    assert total == 3  # §5.3: three errors across the six programs
+
+
+def test_rdl_mode_still_reports_genuine_errors():
+    app = APPS["Journey"]
+    rdl = app.build()
+    known = {e.method for e in rdl.check(app.label).errors}
+    plain = app.build(use_comp_types=False, repair_with_casts=True,
+                      insert_checks=False)
+    plain.config.known_errors = known
+    report = plain.check(app.label)
+    assert len(report.errors) == 2

@@ -1,0 +1,179 @@
+"""Database engine + ORM substrate tests."""
+
+import pytest
+
+from repro import CompRDL, Database
+from repro.db.engine import QueryEngine, pluralize, singularize, snake_case
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.create_table("users", username="string", staged="boolean")
+    d.create_table("emails", email="string", user_id="integer")
+    d.declare_association("users", "emails")
+    d.insert("users", {"username": "a", "staged": False})
+    d.insert("users", {"username": "b", "staged": True})
+    d.insert("emails", {"email": "a@x.com", "user_id": 1})
+    return d
+
+
+class TestDatabase:
+    def test_auto_id(self, db):
+        rows = db.all_rows("users")
+        assert [r["id"] for r in rows] == [1, 2]
+
+    def test_schema_hash_types(self, db):
+        from repro.rtypes import GenericType
+        from repro.rtypes.kinds import Sym
+
+        h = db.schema_hash()
+        table_type = h.get(Sym("users"))
+        assert isinstance(table_type, GenericType)
+        assert table_type.base == "Table"
+
+    def test_version_bumps_on_schema_change(self, db):
+        v = db.version
+        db.add_column("users", "age", "integer")
+        assert db.version > v
+
+    def test_naming_conventions(self):
+        assert pluralize("Person") == "people"
+        assert pluralize("Topic") == "topics"
+        assert pluralize("Query") == "queries"
+        assert singularize("people") == "person"
+        assert singularize("emails") == "email"
+        assert snake_case("TopicAllowedGroup") == "topic_allowed_group"
+
+    def test_join_rows(self, db):
+        engine = QueryEngine(db)
+        rows = engine.rows_for("users", ["emails"])
+        assert len(rows) == 1
+        assert rows[0]["emails"]["email"] == "a@x.com"
+
+    def test_nested_conditions(self, db):
+        engine = QueryEngine(db)
+        rows = engine.rows_for("users", ["emails"])
+        assert engine.filter_rows(rows, {"emails": {"email": "a@x.com"}})
+        assert not engine.filter_rows(rows, {"emails": {"email": "zzz"}})
+
+
+class TestActiveRecordRuntime:
+    @pytest.fixture
+    def rdl(self, db):
+        r = CompRDL(db=db)
+        r.load("class User < ActiveRecord::Base\n has_many :emails\nend")
+        return r
+
+    def test_exists(self, rdl):
+        assert rdl.run('User.exists?({ username: "a" })') is True
+        assert rdl.run('User.exists?({ username: "zz" })') is False
+
+    def test_joins_exists(self, rdl):
+        assert rdl.run('User.joins(:emails).exists?({ emails: { email: "a@x.com" } })') is True
+
+    def test_find_by_returns_record(self, rdl):
+        assert rdl.run('User.find_by({ username: "a" }).username').val == "a"
+
+    def test_accessors_from_schema(self, rdl):
+        assert rdl.run('User.first.staged') is False
+
+    def test_create_and_count(self, rdl):
+        before = rdl.run("User.count")
+        rdl.run('User.create({ username: "c", staged: false })')
+        assert rdl.run("User.count") == before + 1
+
+    def test_pluck(self, rdl):
+        names = rdl.run("User.pluck(:username)")
+        assert [s.val for s in names.items] == ["a", "b"]
+
+    def test_where_chaining(self, rdl):
+        assert rdl.run("User.where({ staged: true }).count") == 1
+
+    def test_save_roundtrip(self, rdl):
+        rdl.run('u = User.find(1)\nu.username = "renamed"\nu.save')
+        assert rdl.run('User.exists?({ username: "renamed" })') is True
+
+    def test_order_and_first(self, rdl):
+        name = rdl.run("User.order({ username: :desc }).first.username")
+        assert name.val == "b"
+
+    def test_update_all(self, rdl):
+        changed = rdl.run("User.where({ staged: true }).update_all({ staged: false })")
+        assert changed == 1
+
+
+class TestSequelRuntime:
+    @pytest.fixture
+    def rdl(self, db):
+        return CompRDL(db=db)
+
+    def test_dataset_count(self, rdl):
+        assert rdl.run("DB[:users].count") == 2
+
+    def test_dataset_where(self, rdl):
+        assert rdl.run("DB[:users].where({ staged: false }).count") == 1
+
+    def test_select_map(self, rdl):
+        values = rdl.run("DB[:users].select_map(:username)")
+        assert [v.val for v in values.items] == ["a", "b"]
+
+    def test_exclude(self, rdl):
+        assert rdl.run("DB[:users].exclude({ staged: true }).count") == 1
+
+    def test_dataset_first_is_hash(self, rdl):
+        assert rdl.run("DB[:users].first[:username]").val == "a"
+
+    def test_insert_returns_id(self, rdl):
+        new_id = rdl.run('DB[:users].insert({ username: "zz", staged: false })')
+        assert new_id == 3
+
+    def test_get(self, rdl):
+        assert rdl.run("DB[:users].get(:username)").val == "a"
+
+    def test_unknown_table_raises(self, rdl):
+        from repro.runtime.interp import RaiseSignal
+        from repro.runtime.errors import RubyError
+
+        with pytest.raises((RaiseSignal, RubyError)):
+            rdl.run("DB[:missing].count")
+
+
+class TestExtendedActiveRecord:
+    @pytest.fixture
+    def rdl(self, db):
+        r = CompRDL(db=db)
+        r.load("class User < ActiveRecord::Base\nend")
+        return r
+
+    def test_second_and_third(self, rdl):
+        assert rdl.run("User.second.username").val == "b"
+        assert rdl.run("User.third") is None
+
+    def test_sole_raises_on_many(self, rdl):
+        from repro.runtime.errors import RubyError
+        from repro.runtime.interp import RaiseSignal
+
+        with pytest.raises((RubyError, RaiseSignal)):
+            rdl.run("User.sole")
+        assert rdl.run('User.where({ username: "a" }).sole.username').val == "a"
+
+    def test_pick(self, rdl):
+        assert rdl.run("User.pick(:username)").val == "a"
+
+    def test_offset(self, rdl):
+        assert rdl.run("User.offset(1).length") == 1
+
+    def test_find_or_create_by_finds(self, rdl):
+        before = rdl.run("User.count")
+        assert rdl.run('User.find_or_create_by({ username: "a" }).username').val == "a"
+        assert rdl.run("User.count") == before
+
+    def test_find_or_create_by_creates(self, rdl):
+        before = rdl.run("User.count")
+        rdl.run('User.find_or_create_by({ username: "new" })')
+        assert rdl.run("User.count") == before + 1
+
+    def test_rewhere_and_reorder(self, rdl):
+        assert rdl.run('User.where({ staged: true }).rewhere({ staged: false }).count') == 1
+        assert rdl.run("User.reorder({ username: :desc }).first.username").val == "b"

@@ -1,0 +1,221 @@
+"""λC unit tests: semantics, typing, check insertion, and the Bool.∧ example."""
+
+import pytest
+
+from repro.lambdac import (
+    Call,
+    CheckedCall,
+    ClassTable,
+    CompSig,
+    Eq,
+    If,
+    LCBlame,
+    LCTypeError,
+    LibMethod,
+    Machine,
+    MethodSig,
+    New,
+    Program,
+    Seq,
+    TSelfE,
+    UserMethod,
+    Val,
+    Var,
+    VBool,
+    VClassId,
+    VNil,
+    VObj,
+    check_and_rewrite,
+    type_check,
+)
+from repro.lambdac.typing import check_program
+
+def _truthy(v):
+    """Ruby truthiness for lambda-C values: nil/false are falsy."""
+    return isinstance(v, VBool) and v.value
+
+
+TRUE = Val(VBool(True))
+FALSE = Val(VBool(False))
+NIL = Val(VNil())
+
+
+def bool_and_lib() -> LibMethod:
+    """The paper's §3.1 example: a comp type for Bool.∧ that returns a
+    singleton class when both sides are singletons."""
+    rng = If(
+        Call(Eq(TSelfE(), Val(VClassId("True"))), "and",
+             Eq(Var("a"), Val(VClassId("True")))),
+        Val(VClassId("True")),
+        If(
+            Call(Eq(TSelfE(), Val(VClassId("False"))), "or",
+                 Eq(Var("a"), Val(VClassId("False")))),
+            Val(VClassId("False")),
+            Val(VClassId("Bool")),
+        ),
+    )
+    sig = CompSig("a", Val(VClassId("Bool")), "Bool", rng, "Bool")
+    return LibMethod("Bool", "and", sig,
+                     lambda recv, arg: VBool(_truthy(recv) and _truthy(arg)))
+
+
+def bool_or_lib() -> LibMethod:
+    return LibMethod("Bool", "or", MethodSig("Bool", "Bool"),
+                     lambda recv, arg: VBool(_truthy(recv) or _truthy(arg)))
+
+
+@pytest.fixture
+def table() -> ClassTable:
+    program = Program(
+        user_methods=[
+            UserMethod("A", "identity", "x", MethodSig("Obj", "Obj"), Var("x")),
+            UserMethod("A", "make_b", "x", MethodSig("Obj", "B"), New("B")),
+        ],
+        lib_methods=[bool_and_lib(), bool_or_lib()],
+    )
+    t = ClassTable.from_program(program, extra_classes={"A": "Obj", "B": "A"})
+    check_program(t, program)
+    return t
+
+
+class TestSemantics:
+    def test_values_are_final(self, table):
+        result = Machine(table).run(TRUE)
+        assert result.value == VBool(True)
+
+    def test_new(self, table):
+        result = Machine(table).run(New("A"))
+        assert result.value == VObj("A")
+
+    def test_seq(self, table):
+        result = Machine(table).run(Seq(TRUE, FALSE))
+        assert result.value == VBool(False)
+
+    def test_if_true_branch(self, table):
+        result = Machine(table).run(If(TRUE, New("A"), New("B")))
+        assert result.value == VObj("A")
+
+    def test_if_nil_is_falsy(self, table):
+        result = Machine(table).run(If(NIL, New("A"), New("B")))
+        assert result.value == VObj("B")
+
+    def test_eq(self, table):
+        result = Machine(table).run(Eq(New("A"), New("A")))
+        assert result.value == VBool(True)
+
+    def test_user_call_with_stack(self, table):
+        expr = Eq(Call(New("A"), "identity", TRUE), TRUE)
+        result = Machine(table).run(expr)
+        assert result.value == VBool(True)
+
+    def test_nested_user_calls(self, table):
+        expr = Call(Call(New("A"), "make_b", NIL), "identity", FALSE)
+        result = Machine(table).run(expr)
+        assert result.value == VBool(False)
+
+    def test_nil_call_blames(self, table):
+        result = Machine(table).run(Call(NIL, "identity", TRUE))
+        assert result.blamed
+
+    def test_checked_call_ok(self, table):
+        expr = CheckedCall("True", TRUE, "and", TRUE)
+        result = Machine(table).run(expr)
+        assert result.value == VBool(True)
+
+    def test_checked_call_blames_on_violation(self, table):
+        # claim the call returns False when it actually returns True
+        expr = CheckedCall("False", TRUE, "and", TRUE)
+        result = Machine(table).run(expr)
+        assert result.blamed
+
+    def test_lying_library_blames(self, table):
+        table.define_lib(LibMethod("Bool", "lie", MethodSig("Bool", "True"),
+                                   lambda recv, arg: VBool(False)))
+        result = Machine(table).run(CheckedCall("True", TRUE, "lie", TRUE))
+        assert result.blamed
+
+
+class TestTyping:
+    def test_literals(self, table):
+        assert type_check(table, TRUE) == "True"
+        assert type_check(table, FALSE) == "False"
+        assert type_check(table, NIL) == "Nil"
+        assert type_check(table, Val(VClassId("A"))) == "Type"
+
+    def test_if_lub(self, table):
+        assert type_check(table, If(TRUE, TRUE, FALSE)) == "Bool"
+
+    def test_nil_is_bottom(self, table):
+        # nil can be passed where an Obj is expected (λC §3.1)
+        expr = Call(New("A"), "identity", NIL)
+        assert type_check(table, expr) == "Obj"
+
+    def test_user_call_type(self, table):
+        assert type_check(table, Call(New("A"), "make_b", TRUE)) == "B"
+
+    def test_subclass_methods_inherited(self, table):
+        assert type_check(table, Call(New("B"), "identity", TRUE)) == "Obj"
+
+    def test_bad_argument_rejected(self, table):
+        table.define_user(UserMethod("A", "wants_b", "x", MethodSig("B", "B"), Var("x")))
+        with pytest.raises(LCTypeError):
+            type_check(table, Call(New("A"), "wants_b", TRUE))
+
+    def test_unknown_method_rejected(self, table):
+        with pytest.raises(LCTypeError):
+            type_check(table, Call(New("A"), "missing", TRUE))
+
+
+class TestCheckInsertion:
+    def test_lib_call_rewritten_to_checked(self, table):
+        rewritten, t = check_and_rewrite(table, Call(TRUE, "or", FALSE))
+        assert isinstance(rewritten, CheckedCall)
+        assert rewritten.check_type == "Bool"
+        assert t == "Bool"
+
+    def test_comp_sig_computes_singleton(self, table):
+        # the paper's example: true ∧ true gets the singleton type True
+        rewritten, t = check_and_rewrite(table, Call(TRUE, "and", TRUE))
+        assert isinstance(rewritten, CheckedCall)
+        assert t == "True"
+        assert rewritten.check_type == "True"
+
+    def test_comp_sig_false_case(self, table):
+        _, t = check_and_rewrite(table, Call(FALSE, "and", TRUE))
+        assert t == "False"
+
+    def test_comp_sig_fallback(self, table):
+        # one side not a singleton: If joins True/False types to Bool
+        expr = Call(If(Eq(TRUE, TRUE), TRUE, FALSE), "and", TRUE)
+        _, t = check_and_rewrite(table, expr)
+        assert t == "Bool"
+
+    def test_user_call_not_checked(self, table):
+        rewritten, _ = check_and_rewrite(table, Call(New("A"), "identity", TRUE))
+        assert isinstance(rewritten, Call)
+
+    def test_rewritten_program_runs(self, table):
+        rewritten, t = check_and_rewrite(table, Call(TRUE, "and", TRUE))
+        result = Machine(table).run(rewritten)
+        assert result.value == VBool(True)
+        assert table.le("True", t)
+
+    def test_rewriting_preserves_typing(self, table):
+        expr = Seq(Call(TRUE, "or", FALSE), Call(New("A"), "make_b", NIL))
+        rewritten, t = check_and_rewrite(table, expr)
+        assert type_check(table, rewritten) == t
+
+
+class TestClassTable:
+    def test_lub(self, table):
+        assert table.lub("True", "False") == "Bool"
+        assert table.lub("A", "Bool") == "Obj"
+        assert table.lub("B", "A") == "A"
+
+    def test_nil_bottom(self, table):
+        assert table.le("Nil", "A")
+        assert table.le("Nil", "Bool")
+        assert not table.le("A", "Nil")
+
+    def test_obj_top(self, table):
+        assert table.le("Type", "Obj")

@@ -1,0 +1,138 @@
+"""Property-based soundness testing for λC (Theorem 3.1).
+
+For randomly generated expressions that pass the check-insertion rules
+(Γ ⊢ e ↪ e' : A), the rewritten e' must (a) also satisfy the pure typing
+rules with the same type (Lemma 4), and (b) reduce to a value whose type is
+a subtype of A, reduce to blame, or run out of fuel — never get stuck.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lambdac import (
+    Call,
+    ClassTable,
+    CompSig,
+    Eq,
+    If,
+    LibMethod,
+    Machine,
+    MethodSig,
+    New,
+    Program,
+    Seq,
+    TSelfE,
+    UserMethod,
+    Val,
+    Var,
+    VBool,
+    VClassId,
+    VNil,
+    check_and_rewrite,
+    type_check,
+)
+from repro.lambdac.typing import LCTypeError
+from repro.lambdac.syntax import type_of_value
+
+
+def _truthy(v):
+    """Ruby truthiness for lambda-C values: nil/false are falsy."""
+    return isinstance(v, VBool) and v.value
+
+
+def make_table() -> ClassTable:
+    rng = If(
+        Call(Eq(TSelfE(), Val(VClassId("True"))), "band",
+             Eq(Var("a"), Val(VClassId("True")))),
+        Val(VClassId("True")),
+        Val(VClassId("Bool")),
+    )
+    program = Program(
+        user_methods=[
+            UserMethod("A", "identity", "x", MethodSig("Obj", "Obj"), Var("x")),
+            UserMethod("A", "make_b", "x", MethodSig("Obj", "B"), New("B")),
+            UserMethod("B", "flip", "x", MethodSig("Bool", "Bool"),
+                       If(Var("x"), Val(VBool(False)), Val(VBool(True)))),
+        ],
+        lib_methods=[
+            LibMethod("Bool", "band",
+                      CompSig("a", Val(VClassId("Bool")), "Bool", rng, "Bool"),
+                      lambda recv, arg: VBool(_truthy(recv) and _truthy(arg))),
+            LibMethod("Bool", "bor", MethodSig("Bool", "Bool"),
+                      lambda recv, arg: VBool(_truthy(recv) or _truthy(arg))),
+        ],
+    )
+    return ClassTable.from_program(program, extra_classes={"A": "Obj", "B": "A"})
+
+
+TABLE = make_table()
+
+
+def exprs(depth: int):
+    leaf = st.sampled_from([
+        Val(VBool(True)),
+        Val(VBool(False)),
+        Val(VNil()),
+        New("A"),
+        New("B"),
+        Val(VClassId("A")),
+    ])
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(Seq, sub, sub),
+        st.builds(Eq, sub, sub),
+        st.builds(If, sub, sub, sub),
+        st.builds(Call, sub, st.sampled_from(
+            ["identity", "make_b", "flip", "band", "bor"]), sub),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(exprs(3))
+def test_soundness_theorem(e):
+    """Theorem 3.1: well-checked expressions never get stuck."""
+    try:
+        rewritten, static_type = check_and_rewrite(TABLE, e)
+    except LCTypeError:
+        return  # ill-typed inputs are rejected statically; nothing to run
+    # Lemma 4: the rewritten term types identically under the pure rules
+    assert type_check(TABLE, rewritten) == static_type
+
+    result = Machine(TABLE).run(rewritten, fuel=2_000)
+    if result.is_value():
+        # preservation corollary: the final value inhabits the static type
+        assert TABLE.le(type_of_value(result.value), static_type), (
+            f"{rewritten} evaluated to {result.value} : "
+            f"{type_of_value(result.value)}, expected <= {static_type}")
+    elif result.blamed:
+        # blame is allowed (nil calls / failed checks), stuckness is not
+        assert "stuck" not in result.blame_message
+    else:
+        assert result.diverged
+
+
+@settings(max_examples=200, deadline=None)
+@given(exprs(2))
+def test_progress_stepwise(e):
+    """Progress: every intermediate configuration can step, is a value,
+    or blames."""
+    try:
+        rewritten, _ = check_and_rewrite(TABLE, e)
+    except LCTypeError:
+        return
+    machine = Machine(TABLE)
+    env: dict = {}
+    stack: list = []
+    expr = rewritten
+    from repro.lambdac.semantics import Blame
+
+    for _ in range(500):
+        if isinstance(expr, Val) and not stack:
+            return  # reached a value
+        try:
+            env, expr, stack = machine.step(env, expr, stack)
+        except Blame as blame:
+            assert "stuck" not in str(blame)
+            return

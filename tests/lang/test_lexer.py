@@ -1,0 +1,72 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang import LexError, Lexer
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in Lexer(source).tokenize() if t.kind != "newline"][:-1]
+
+
+class TestBasics:
+    def test_integer_and_float(self):
+        assert kinds("42 3.5") == [("int", 42), ("float", 3.5)]
+
+    def test_underscore_numbers(self):
+        assert kinds("1_000") == [("int", 1000)]
+
+    def test_single_quoted_string(self):
+        assert kinds("'hi'") == [("string", "hi")]
+
+    def test_double_quoted_plain(self):
+        assert kinds('"hi"') == [("string", "hi")]
+
+    def test_escapes(self):
+        assert kinds('"a\\nb"') == [("string", "a\nb")]
+
+    def test_symbol(self):
+        assert kinds(":emails") == [("symbol", "emails")]
+
+    def test_symbol_with_suffix(self):
+        assert kinds(":exists?") == [("symbol", "exists?")]
+
+    def test_ivar_and_gvar(self):
+        assert kinds("@name $db") == [("ivar", "@name"), ("gvar", "$db")]
+
+    def test_keywords_vs_idents(self):
+        assert kinds("def foo end") == [("kw", "def"), ("ident", "foo"), ("kw", "end")]
+
+    def test_method_name_suffixes(self):
+        assert kinds("empty? save!") == [("ident", "empty?"), ("ident", "save!")]
+
+    def test_bang_not_eaten_by_neq(self):
+        assert kinds("a != b") == [("ident", "a"), ("op", "!="), ("ident", "b")]
+
+    def test_namespaced_const(self):
+        assert kinds("ActiveRecord::Base") == [("const", "ActiveRecord::Base")]
+
+    def test_comment_skipped(self):
+        assert kinds("1 # comment\n2") == [("int", 1), ("int", 2)]
+
+    def test_hashrocket_after_symbol(self):
+        assert kinds(":a=>1") == [("symbol", "a"), ("op", "=>"), ("int", 1)]
+
+    def test_operators(self):
+        assert kinds("a <=> b") == [("ident", "a"), ("op", "<=>"), ("ident", "b")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            Lexer("'oops").tokenize()
+
+
+class TestInterpolation:
+    def test_plain_interp(self):
+        tokens = kinds('"a#{x}b"')
+        assert tokens[0][0] == "dstring"
+        parts = tokens[0][1]
+        assert parts == [("str", "a"), ("code", "x"), ("str", "b")]
+
+    def test_nested_braces(self):
+        tokens = kinds('"#{h[:k]}"')
+        assert tokens[0][1] == [("code", "h[:k]")]

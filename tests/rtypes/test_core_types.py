@@ -1,0 +1,148 @@
+"""Unit tests for the core RDL type representations."""
+
+from repro.rtypes import (
+    AnyType,
+    BotType,
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    NominalType,
+    SingletonType,
+    Sym,
+    TupleType,
+    UnionType,
+    make_union,
+)
+
+
+class TestNominal:
+    def test_equality(self):
+        assert NominalType("Integer") == NominalType("Integer")
+        assert NominalType("Integer") != NominalType("String")
+
+    def test_render(self):
+        assert str(NominalType("Integer")) == "Integer"
+
+    def test_hashable(self):
+        assert len({NominalType("A"), NominalType("A"), NominalType("B")}) == 2
+
+
+class TestSingleton:
+    def test_symbol_singleton(self):
+        t = SingletonType(Sym("emails"))
+        assert t.base_name == "Symbol"
+        assert str(t) == ":emails"
+
+    def test_integer_singleton(self):
+        assert SingletonType(2).base_name == "Integer"
+
+    def test_bool_singletons_distinct_from_ints(self):
+        assert SingletonType(True) != SingletonType(1)
+        assert SingletonType(False) != SingletonType(0)
+
+    def test_nil_singleton(self):
+        t = SingletonType(None)
+        assert t.base_name == "NilClass"
+        assert str(t) == "nil"
+
+    def test_true_false_render(self):
+        assert str(SingletonType(True)) == "true"
+        assert str(SingletonType(False)) == "false"
+
+
+class TestUnion:
+    def test_flattening(self):
+        a, b, c = NominalType("A"), NominalType("B"), NominalType("C")
+        nested = make_union([a, make_union([b, c])])
+        assert isinstance(nested, UnionType)
+        assert set(nested.types) == {a, b, c}
+
+    def test_dedup(self):
+        a = NominalType("A")
+        assert make_union([a, a]) == a
+
+    def test_empty_union_is_bot(self):
+        assert isinstance(make_union([]), BotType)
+
+    def test_union_equality_is_order_insensitive(self):
+        a, b = NominalType("A"), NominalType("B")
+        assert make_union([a, b]) == make_union([b, a])
+
+    def test_any_absorbs(self):
+        assert isinstance(make_union([NominalType("A"), AnyType()]), AnyType)
+
+    def test_bot_dropped(self):
+        a = NominalType("A")
+        assert make_union([a, BotType()]) == a
+
+
+class TestFiniteHash:
+    def test_render(self):
+        fh = FiniteHashType({Sym("name"): NominalType("String")})
+        assert str(fh) == "{ name: String }"
+
+    def test_value_type_union(self):
+        fh = FiniteHashType(
+            {Sym("a"): NominalType("Integer"), Sym("b"): NominalType("String")}
+        )
+        assert fh.value_type() == make_union(
+            [NominalType("Integer"), NominalType("String")]
+        )
+
+    def test_promoted(self):
+        fh = FiniteHashType({Sym("a"): NominalType("Integer")})
+        promoted = fh.promoted()
+        assert promoted.base == "Hash"
+        assert promoted.params[0] == NominalType("Symbol")
+        assert promoted.params[1] == NominalType("Integer")
+
+    def test_merged_for_joins(self):
+        users = FiniteHashType({Sym("id"): NominalType("Integer")})
+        emails = FiniteHashType({Sym("email"): NominalType("String")})
+        joined = users.merged(emails)
+        assert set(joined.elts) == {Sym("id"), Sym("email")}
+
+    def test_widen_key_weak_update(self):
+        fh = FiniteHashType({Sym("a"): NominalType("Integer")})
+        fh.widen_key(Sym("a"), NominalType("String"))
+        assert fh.elts[Sym("a")] == make_union(
+            [NominalType("Integer"), NominalType("String")]
+        )
+
+
+class TestTuple:
+    def test_render(self):
+        t = TupleType([NominalType("Integer"), NominalType("String")])
+        assert str(t) == "[Integer, String]"
+
+    def test_promoted(self):
+        t = TupleType([NominalType("Integer"), NominalType("String")])
+        promoted = t.promoted()
+        assert promoted.base == "Array"
+        assert promoted.params[0] == make_union(
+            [NominalType("Integer"), NominalType("String")]
+        )
+
+    def test_widen_elem_weak_update(self):
+        t = TupleType([NominalType("Integer"), NominalType("String")])
+        t.widen_elem(0, NominalType("String"))
+        assert t.elts[0] == make_union([NominalType("Integer"), NominalType("String")])
+        assert t.elts[1] == NominalType("String")
+
+    def test_empty_tuple_promotes_to_array_object(self):
+        assert TupleType([]).promoted() == GenericType("Array", [NominalType("Object")])
+
+
+class TestConstString:
+    def test_values_render(self):
+        assert str(ConstStringType("hi")) == "'hi'"
+
+    def test_promote_forgets_value(self):
+        t = ConstStringType("select 1")
+        t.promote()
+        assert t.is_promoted
+        assert str(t) == "String"
+
+    def test_structural_equality(self):
+        assert ConstStringType("a") == ConstStringType("a")
+        assert ConstStringType("a") != ConstStringType("b")

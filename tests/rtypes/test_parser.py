@@ -1,0 +1,180 @@
+"""Tests for the RDL type-signature string parser."""
+
+import pytest
+
+from repro.rtypes import (
+    AnyType,
+    BotType,
+    BoundArg,
+    CompExpr,
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    MethodType,
+    NominalType,
+    OptionalArg,
+    SingletonType,
+    Sym,
+    TupleType,
+    TypeParseError,
+    VarType,
+    VarargArg,
+    make_union,
+    parse_method_type,
+    parse_type,
+)
+
+
+class TestSimpleSignatures:
+    def test_paper_figure_1a(self):
+        sig = parse_method_type("(String, String) -> %bool")
+        assert sig.args == [NominalType("String"), NominalType("String")]
+        assert sig.ret == NominalType("Boolean")
+
+    def test_nullary(self):
+        sig = parse_method_type("() -> String")
+        assert sig.args == []
+        assert sig.ret == NominalType("String")
+
+    def test_unicode_arrow(self):
+        sig = parse_method_type("( String ) → Integer")
+        assert sig.ret == NominalType("Integer")
+
+    def test_type_vars(self):
+        sig = parse_method_type("(k) -> v")
+        assert sig.args == [VarType("k")]
+        assert sig.ret == VarType("v")
+
+    def test_optional_and_vararg(self):
+        sig = parse_method_type("(?Integer, *String) -> nil")
+        assert sig.args == [
+            OptionalArg(NominalType("Integer")),
+            VarargArg(NominalType("String")),
+        ]
+        assert sig.ret == SingletonType(None)
+
+    def test_block_signature(self):
+        sig = parse_method_type("() { (a) -> b } -> Array<b>")
+        assert isinstance(sig.block, MethodType)
+        assert sig.block.args == [VarType("a")]
+
+
+class TestCompSignatures:
+    def test_comp_return(self):
+        sig = parse_method_type("(t<:Symbol) -> «make_table(t)»")
+        assert sig.args == [BoundArg("t", NominalType("Symbol"))]
+        assert isinstance(sig.ret, CompExpr)
+        assert sig.ret.code == "make_table(t)"
+        assert sig.is_comp()
+
+    def test_comp_with_bound(self):
+        sig = parse_method_type("(t<:Object) -> «lookup(t)»/String")
+        assert isinstance(sig.ret, CompExpr)
+        assert sig.ret.bound == NominalType("String")
+
+    def test_comp_argument_bound(self):
+        sig = parse_method_type("(t<:«schema_type(tself)») -> «tself»")
+        arg = sig.args[0]
+        assert isinstance(arg, BoundArg)
+        assert isinstance(arg.bound, CompExpr)
+        assert arg.bound.code == "schema_type(tself)"
+
+    def test_ascii_comp_delimiters(self):
+        sig = parse_method_type("(t<:Symbol) -> {| make_table(t) |}")
+        assert isinstance(sig.ret, CompExpr)
+        assert sig.ret.code == "make_table(t)"
+
+    def test_nested_guillemets(self):
+        t = parse_type("«f(«g»)»")
+        assert isinstance(t, CompExpr)
+        assert t.code == "f(«g»)"
+
+    def test_erased_signature(self):
+        sig = parse_method_type("(t<:Symbol) -> «make_table(t)»/Table")
+        erased = sig.erased()
+        assert erased.args == [NominalType("Symbol")]
+        assert erased.ret == NominalType("Table")
+        assert not erased.is_comp()
+
+
+class TestTypeSyntax:
+    def test_generic(self):
+        t = parse_type("Hash<Symbol, Object>")
+        assert t == GenericType("Hash", [NominalType("Symbol"), NominalType("Object")])
+
+    def test_nested_generic(self):
+        t = parse_type("Array<Array<Integer>>")
+        assert t == GenericType("Array", [GenericType("Array", [NominalType("Integer")])])
+
+    def test_union(self):
+        t = parse_type("Integer or String or nil")
+        assert t == make_union(
+            [NominalType("Integer"), NominalType("String"), SingletonType(None)]
+        )
+
+    def test_finite_hash(self):
+        t = parse_type("{ name: String, age: Integer }")
+        assert isinstance(t, FiniteHashType)
+        assert t.elts[Sym("name")] == NominalType("String")
+        assert t.elts[Sym("age")] == NominalType("Integer")
+
+    def test_nested_finite_hash(self):
+        t = parse_type("{ apartments: { bedrooms: Integer } }")
+        inner = t.elts[Sym("apartments")]
+        assert isinstance(inner, FiniteHashType)
+        assert inner.elts[Sym("bedrooms")] == NominalType("Integer")
+
+    def test_finite_hash_rest_and_optional(self):
+        t = parse_type("{ a: ?Integer, **String }")
+        assert Sym("a") in t.optional_keys
+        assert t.rest == NominalType("String")
+
+    def test_tuple(self):
+        t = parse_type("[Integer, String]")
+        assert t == TupleType([NominalType("Integer"), NominalType("String")])
+
+    def test_symbol_singleton(self):
+        assert parse_type(":emails") == SingletonType(Sym("emails"))
+
+    def test_numeric_singletons(self):
+        assert parse_type("2") == SingletonType(2)
+        assert parse_type("2.5") == SingletonType(2.5)
+        assert parse_type("-3") == SingletonType(-3)
+
+    def test_const_string(self):
+        assert parse_type("'hello'") == ConstStringType("hello")
+
+    def test_percent_types(self):
+        assert isinstance(parse_type("%any"), AnyType)
+        assert isinstance(parse_type("%bot"), BotType)
+        assert parse_type("%bool") == NominalType("Boolean")
+
+    def test_table_generic(self):
+        t = parse_type("Table<{ id: Integer }>")
+        assert t.base == "Table"
+        assert isinstance(t.params[0], FiniteHashType)
+
+    def test_namespaced_constant(self):
+        assert parse_type("ActiveRecord::Base") == NominalType("ActiveRecord::Base")
+
+    def test_parenthesized_union_in_generic(self):
+        t = parse_type("Array<(Integer or String)>")
+        assert t.params[0] == make_union([NominalType("Integer"), NominalType("String")])
+
+
+class TestErrors:
+    def test_unterminated_comp(self):
+        with pytest.raises(TypeParseError):
+            parse_type("«oops")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TypeParseError):
+            parse_type("Integer Integer")
+
+    def test_bad_hash_key(self):
+        with pytest.raises(TypeParseError):
+            parse_type("{ 3: Integer }")
+
+    def test_missing_arrow(self):
+        with pytest.raises(TypeParseError):
+            parse_method_type("(Integer) Integer")

@@ -1,0 +1,108 @@
+"""Property-based tests on the type lattice (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rtypes import (
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    NominalType,
+    SingletonType,
+    Sym,
+    TupleType,
+    default_hierarchy,
+    join,
+    make_union,
+    parse_type,
+    subtype,
+)
+
+HIER = default_hierarchy()
+
+_NOMINALS = ["Integer", "Float", "Numeric", "String", "Symbol", "Object",
+             "Boolean", "TrueClass", "Array", "Hash"]
+
+
+def types(depth: int):
+    leaf = st.one_of(
+        st.sampled_from([NominalType(n) for n in _NOMINALS]),
+        st.integers(-5, 5).map(SingletonType),
+        st.sampled_from(["a", "b"]).map(lambda s: SingletonType(Sym(s))),
+        st.sampled_from(["x", "sql"]).map(ConstStringType),
+        st.just(SingletonType(None)),
+        st.just(SingletonType(True)),
+    )
+    if depth == 0:
+        return leaf
+    sub = types(depth - 1)
+    return st.one_of(
+        leaf,
+        st.lists(sub, min_size=1, max_size=3).map(TupleType),
+        st.lists(sub, min_size=1, max_size=3).map(make_union),
+        st.builds(lambda t: GenericType("Array", [t]), sub),
+        st.builds(lambda k, v: GenericType("Hash", [k, v]), sub, sub),
+        st.builds(lambda v: FiniteHashType({Sym("k"): v}), sub),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(types(2))
+def test_subtype_reflexive(t):
+    assert subtype(t, t, HIER, record=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(types(1), types(1), types(1))
+def test_subtype_transitive(a, b, c):
+    if subtype(a, b, HIER, record=False) and subtype(b, c, HIER, record=False):
+        assert subtype(a, c, HIER, record=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(types(1), types(1))
+def test_join_is_upper_bound(a, b):
+    j = join(a, b, HIER)
+    assert subtype(a, j, HIER, record=False)
+    assert subtype(b, j, HIER, record=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(types(1), types(1))
+def test_join_commutative_up_to_subtyping(a, b):
+    j1 = join(a, b, HIER)
+    j2 = join(b, a, HIER)
+    assert subtype(j1, j2, HIER, record=False)
+    assert subtype(j2, j1, HIER, record=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(types(1), min_size=1, max_size=4))
+def test_union_members_below_union(ts):
+    u = make_union(ts)
+    for t in ts:
+        assert subtype(t, u, HIER, record=False)
+
+
+@settings(max_examples=300, deadline=None)
+@given(types(2))
+def test_render_parse_roundtrip_subtype(t):
+    """Rendering a type and re-parsing it yields an equivalent type.
+
+    (Singleton booleans/nil parse back to themselves; containers re-parse
+    structurally.)"""
+    text = t.to_s()
+    reparsed = parse_type(text)
+    assert subtype(t, reparsed, HIER, record=False)
+    assert subtype(reparsed, t, HIER, record=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(types(1))
+def test_nil_is_bottom(t):
+    assert subtype(SingletonType(None), t, HIER, record=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(types(1))
+def test_object_is_top(t):
+    assert subtype(t, NominalType("Object"), HIER, record=False)

@@ -1,0 +1,167 @@
+"""Subtyping relation tests, including promotion constraints and joins."""
+
+import pytest
+
+from repro.rtypes import (
+    AnyType,
+    BotType,
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    NominalType,
+    SingletonType,
+    Sym,
+    TupleType,
+    default_hierarchy,
+    join,
+    make_union,
+    subtype,
+)
+from repro.rtypes.subtype import ConstraintLog, replay_constraints
+
+
+@pytest.fixture
+def hierarchy():
+    return default_hierarchy()
+
+
+class TestNominalSubtyping:
+    def test_reflexive(self, hierarchy):
+        assert subtype(NominalType("Integer"), NominalType("Integer"), hierarchy)
+
+    def test_class_chain(self, hierarchy):
+        assert subtype(NominalType("Integer"), NominalType("Numeric"), hierarchy)
+        assert subtype(NominalType("Integer"), NominalType("Object"), hierarchy)
+        assert not subtype(NominalType("Numeric"), NominalType("Integer"), hierarchy)
+
+    def test_bool_lattice(self, hierarchy):
+        assert subtype(NominalType("TrueClass"), NominalType("Boolean"), hierarchy)
+        assert subtype(NominalType("FalseClass"), NominalType("Boolean"), hierarchy)
+
+    def test_nil_is_bottom(self, hierarchy):
+        assert subtype(SingletonType(None), NominalType("String"), hierarchy)
+        assert subtype(NominalType("NilClass"), NominalType("Integer"), hierarchy)
+
+    def test_any_both_ways(self, hierarchy):
+        assert subtype(AnyType(), NominalType("Integer"), hierarchy)
+        assert subtype(NominalType("Integer"), AnyType(), hierarchy)
+
+    def test_bot(self, hierarchy):
+        assert subtype(BotType(), NominalType("Integer"), hierarchy)
+        assert not subtype(NominalType("Integer"), BotType(), hierarchy)
+
+
+class TestSingletonSubtyping:
+    def test_singleton_below_base(self, hierarchy):
+        assert subtype(SingletonType(Sym("a")), NominalType("Symbol"), hierarchy)
+        assert subtype(SingletonType(2), NominalType("Integer"), hierarchy)
+        assert subtype(SingletonType(2), NominalType("Numeric"), hierarchy)
+
+    def test_singleton_not_above_base(self, hierarchy):
+        assert not subtype(NominalType("Symbol"), SingletonType(Sym("a")), hierarchy)
+
+    def test_distinct_singletons(self, hierarchy):
+        assert not subtype(SingletonType(Sym("a")), SingletonType(Sym("b")), hierarchy)
+
+    def test_true_below_bool(self, hierarchy):
+        assert subtype(SingletonType(True), NominalType("Boolean"), hierarchy)
+
+
+class TestUnionSubtyping:
+    def test_member_below_union(self, hierarchy):
+        u = make_union([NominalType("Integer"), NominalType("String")])
+        assert subtype(NominalType("Integer"), u, hierarchy)
+
+    def test_union_below_common_super(self, hierarchy):
+        u = make_union([NominalType("Integer"), NominalType("Float")])
+        assert subtype(u, NominalType("Numeric"), hierarchy)
+
+    def test_union_not_below_member(self, hierarchy):
+        u = make_union([NominalType("Integer"), NominalType("String")])
+        assert not subtype(u, NominalType("Integer"), hierarchy)
+
+
+class TestContainerSubtyping:
+    def test_generic_below_erased(self, hierarchy):
+        t = GenericType("Array", [NominalType("String")])
+        assert subtype(t, NominalType("Array"), hierarchy)
+
+    def test_generic_params(self, hierarchy):
+        a = GenericType("Array", [NominalType("Integer")])
+        b = GenericType("Array", [NominalType("Numeric")])
+        assert subtype(a, b, hierarchy)
+        assert not subtype(b, a, hierarchy)
+
+    def test_tuple_promotes_to_array(self, hierarchy):
+        t = TupleType([NominalType("Integer"), NominalType("String")])
+        arr = GenericType(
+            "Array", [make_union([NominalType("Integer"), NominalType("String")])]
+        )
+        assert subtype(t, arr, hierarchy)
+
+    def test_tuple_pairwise(self, hierarchy):
+        s = TupleType([SingletonType(1), ConstStringType("x")])
+        t = TupleType([NominalType("Integer"), NominalType("String")])
+        assert subtype(s, t, hierarchy)
+        assert not subtype(t, s, hierarchy)
+
+    def test_finite_hash_below_hash_generic(self, hierarchy):
+        fh = FiniteHashType({Sym("a"): NominalType("Integer")})
+        h = GenericType("Hash", [NominalType("Symbol"), NominalType("Integer")])
+        assert subtype(fh, h, hierarchy)
+
+    def test_finite_hash_width(self, hierarchy):
+        narrow = FiniteHashType({Sym("a"): NominalType("Integer")})
+        wide = FiniteHashType(
+            {Sym("a"): NominalType("Integer"), Sym("b"): NominalType("String")}
+        )
+        # extra keys are not allowed unless the target has a rest type
+        assert not subtype(wide, narrow, hierarchy)
+        with_rest = FiniteHashType(
+            {Sym("a"): NominalType("Integer")}, rest=NominalType("String")
+        )
+        assert subtype(wide, with_rest, hierarchy)
+
+    def test_finite_hash_optional_keys(self, hierarchy):
+        target = FiniteHashType(
+            {Sym("a"): NominalType("Integer"), Sym("b"): NominalType("String")},
+            optional_keys={Sym("b")},
+        )
+        source = FiniteHashType({Sym("a"): SingletonType(3)})
+        assert subtype(source, target, hierarchy)
+
+    def test_const_string_below_string(self, hierarchy):
+        assert subtype(ConstStringType("q"), NominalType("String"), hierarchy)
+
+
+class TestConstraintReplay:
+    def test_upper_constraint_replayed_ok(self, hierarchy):
+        t = TupleType([NominalType("Integer"), NominalType("String")])
+        target = GenericType(
+            "Array",
+            [make_union([NominalType("Integer"), NominalType("String")])],
+        )
+        assert subtype(t, target, hierarchy)
+        # widening within the already-recorded bound is fine
+        t.widen_elem(0, NominalType("String"))
+        replay_constraints(t, hierarchy)
+
+    def test_upper_constraint_replay_fails(self, hierarchy):
+        t = TupleType([NominalType("Integer")])
+        target = GenericType("Array", [NominalType("Integer")])
+        assert subtype(t, target, hierarchy)
+        t.widen_elem(0, NominalType("String"))
+        with pytest.raises(ConstraintLog.ReplayError):
+            replay_constraints(t, hierarchy)
+
+
+class TestJoin:
+    def test_join_subsumption(self, hierarchy):
+        assert join(NominalType("Integer"), NominalType("Numeric"), hierarchy) == NominalType("Numeric")
+
+    def test_join_union(self, hierarchy):
+        j = join(NominalType("Integer"), NominalType("String"), hierarchy)
+        assert j == make_union([NominalType("Integer"), NominalType("String")])
+
+    def test_join_singleton_widens(self, hierarchy):
+        assert join(SingletonType(1), NominalType("Integer"), hierarchy) == NominalType("Integer")

@@ -1,0 +1,260 @@
+"""Behavioural tests for the native core library (the Table 1 substrate)."""
+
+import pytest
+
+from repro.runtime import Interp, RArray, RHash, RString
+
+
+@pytest.fixture
+def interp():
+    return Interp()
+
+
+def run(interp, src):
+    return interp.run(src)
+
+
+def sval(result):
+    assert isinstance(result, RString), f"expected string, got {result!r}"
+    return result.val
+
+
+class TestStringMethods:
+    @pytest.mark.parametrize("src,expected", [
+        ("'hello'.upcase", "HELLO"),
+        ("'HELLO'.downcase", "hello"),
+        ("'hello'.capitalize", "Hello"),
+        ("'hEllo'.swapcase", "HeLLO"),
+        ("'  x  '.strip", "x"),
+        ("'  x'.lstrip", "x"),
+        ("'x  '.rstrip", "x"),
+        ("'abc'.reverse", "cba"),
+        ("'abc' + 'def'", "abcdef"),
+        ("'ab' * 3", "ababab"),
+        ("'hello world'.sub('world', 'ruby')", "hello ruby"),
+        ("'a-b-c'.gsub('-', '+')", "a+b+c"),
+        ("'hello'.delete('l')", "heo"),
+        ("'aaabbbc'.squeeze", "abc"),
+        ("'abc'.insert(1, 'X')", "aXbc"),
+        ("'5'.rjust(3, '0')", "005"),
+        ("'5'.ljust(3, '.')", "5.."),
+        ("'x'.center(5, '-')", "--x--"),
+        ("'hello'.tr('el', 'ip')", "hippo"),
+        ("'a,b'.partition(',').first", "a"),
+        ("'prefix_x'.delete_prefix('prefix_')", "x"),
+        ("'x_suffix'.delete_suffix('_suffix')", "x"),
+        ("'hello'[1, 3]", "ell"),
+        ("'hello'.chars.first", "h"),
+        ("'hello world'.split.last", "world"),
+    ])
+    def test_string_returning(self, interp, src, expected):
+        assert sval(run(interp, src)) == expected
+
+    @pytest.mark.parametrize("src,expected", [
+        ("'hello'.length", 5),
+        ("'hello'.index('ll')", 2),
+        ("'hello'.rindex('l')", 3),
+        ("'aaa'.count('a')", 3),
+        ("'42'.to_i", 42),
+        ("'ff'.hex", 255),
+        ("'hello' =~ 'l+'", 2),
+        ("'abc'.ord", 97),
+    ])
+    def test_numeric_returning(self, interp, src, expected):
+        assert run(interp, src) == expected
+
+    @pytest.mark.parametrize("src,expected", [
+        ("'hello'.include?('ell')", True),
+        ("'hello'.start_with?('he')", True),
+        ("'hello'.end_with?('lo')", True),
+        ("''.empty?", True),
+        ("'x'.empty?", False),
+        ("'abc' == 'abc'", True),
+        ("'abc'.match?('b')", True),
+        ("'ABC'.casecmp?('abc')", True),
+    ])
+    def test_predicates(self, interp, src, expected):
+        assert run(interp, src) is expected
+
+    def test_to_sym(self, interp):
+        from repro.rtypes.kinds import Sym
+
+        assert run(interp, "'abc'.to_sym") == Sym("abc")
+
+    def test_mutation_shares(self, interp):
+        assert sval(run(interp, "a = 'x'\nb = a\na << 'y'\nb")) == "xy"
+
+    def test_gsub_bang_returns_nil_when_unchanged(self, interp):
+        assert run(interp, "'aaa'.gsub!('z', 'x')") is None
+
+    def test_scan(self, interp):
+        result = run(interp, "'a1b2'.scan('[0-9]')")
+        assert [s.val for s in result.items] == ["1", "2"]
+
+
+class TestArrayMethods:
+    @pytest.mark.parametrize("src,expected", [
+        ("[1,2,3].sum", 6),
+        ("[1,2,3].max", 3),
+        ("[1,2,3].min", 1),
+        ("[3,1,2].sort.first", 1),
+        ("[1,2,3].index(2)", 1),
+        ("[1,2,2,3].count(2)", 2),
+        ("[1,[2,[3]]].flatten.length", 3),
+        ("[1,2,3,2].uniq.length", 3),
+        ("[1,2,3].reduce(:+)", 6),
+        ("[[1,'a'],[2,'b']].assoc(2).first", 2),
+        ("[1,2,3].take(2).last", 2),
+        ("[1,2,3].drop(1).first", 2),
+        ("[1,2,3].rotate.first", 2),
+        ("[nil,1,nil,2].compact.length", 2),
+        ("([1,2] & [2,3]).first", 2),
+        ("([1] | [1,2]).length", 2),
+        ("([1,2,3] - [2]).length", 2),
+        ("[1,2,3].each_slice(2).length", 2),
+        ("[1,2,3,4].each_cons(2).length", 3),
+        ("[5,3,8].sort_by { |x| -x }.first", 8),
+        ("[1,2,3,4].partition { |x| x.even? }.first.length", 2),
+        ("['a','bb'].max_by { |s| s.length }.length", 2),
+        ("[1,2,3].zip([4,5,6]).first.last", 4),
+        ("[1,2].product([3,4]).length", 4),
+        ("[[1,2],[3,4]].transpose.first.last", 3),
+        ("[1,2,3].values_at(0, 2).last", 3),
+        ("[1,2,3].find_index { |x| x > 1 }", 1),
+        ("[2,4].all? { |x| x.even? }", True),
+        ("[1,3].none? { |x| x.even? }", True),
+        ("[1,2].one? { |x| x.even? }", True),
+        ("[1,2,3].take_while { |x| x < 3 }.length", 2),
+        ("[1,2,3].drop_while { |x| x < 3 }.length", 1),
+        ("[1,2,3].each_with_object([]) { |x, acc| acc << x * 2 }.last", 6),
+        ("[1,2].flat_map { |x| [x, x] }.length", 4),
+        ("['a','b','a'].tally[:nothing]", None),
+    ])
+    def test_values(self, interp, src, expected):
+        assert run(interp, src) == expected
+
+    def test_group_by(self, interp):
+        result = run(interp, "[1,2,3,4].group_by { |x| x % 2 }")
+        assert isinstance(result, RHash)
+        assert len(result.get(0).items) == 2
+
+    def test_mutators_share(self, interp):
+        assert run(interp, "a = [1]\nb = a\nb.push(2)\na.length") == 2
+
+    def test_delete_if(self, interp):
+        result = run(interp, "a = [1,2,3,4]\na.delete_if { |x| x.even? }\na")
+        assert result.items == [1, 3]
+
+    def test_fill(self, interp):
+        assert run(interp, "[1,2].fill(9)").items == [9, 9]
+
+    def test_fetch_raises_out_of_bounds(self, interp):
+        from repro.runtime.errors import RubyError
+
+        with pytest.raises(RubyError):
+            run(interp, "[1].fetch(5)")
+
+    def test_fetch_default(self, interp):
+        assert run(interp, "[1].fetch(5, 99)") == 99
+
+    def test_dig(self, interp):
+        assert run(interp, "[[1, [2, 3]]].dig(0, 1, 1)") == 3
+
+
+class TestHashMethods:
+    @pytest.mark.parametrize("src,expected", [
+        ("{ a: 1, b: 2 }.size", 2),
+        ("{ a: 1 }.key?(:a)", True),
+        ("{ a: 1 }.value?(1)", True),
+        ("{ a: 1, b: 2 }.values.sum", 3),
+        ("{ a: 1 }.fetch(:a)", 1),
+        ("{ a: 1 }.fetch(:z, 9)", 9),
+        ("{ a: 1, b: 2 }.count { |k, v| v > 1 }", 1),
+        ("{ a: 1, b: 2 }.any? { |k, v| v == 2 }", True),
+        ("{ a: 1 }.empty?", False),
+        ("{ a: { b: 2 } }.dig(:a, :b)", 2),
+        ("{ a: 1, b: 2 }.select { |k, v| v > 1 }.size", 1),
+        ("{ a: 1, b: 2 }.reject { |k, v| v > 1 }.size", 1),
+        ("{ a: 1 }.transform_values { |v| v * 10 }[:a]", 10),
+        ("{ a: 1, b: 2 }.min_by { |k, v| v }.last", 1),
+        ("{ a: 1 }.invert[1]", "a"),
+    ])
+    def test_values(self, interp, src, expected):
+        from repro.rtypes.kinds import Sym
+
+        result = run(interp, src)
+        if isinstance(result, Sym):
+            result = result.name
+        assert result == expected
+
+    def test_invert_maps_value_to_key(self, interp):
+        from repro.rtypes.kinds import Sym
+
+        assert run(interp, "{ a: 1 }.invert.values.first") == Sym("a")
+
+    def test_each_accumulates(self, interp):
+        assert run(interp, "t = 0\n{ a: 1, b: 2 }.each { |k, v| t += v }\nt") == 3
+
+    def test_merge_bang_mutates(self, interp):
+        assert run(interp, "h = { a: 1 }\nh.merge!({ b: 2 })\nh.size") == 2
+
+    def test_to_a(self, interp):
+        result = run(interp, "{ a: 1 }.to_a.first")
+        assert isinstance(result, RArray)
+
+    def test_delete(self, interp):
+        assert run(interp, "h = { a: 1 }\nh.delete(:a)\nh.size") == 0
+
+    def test_except_and_slice(self, interp):
+        assert run(interp, "{ a: 1, b: 2 }.except(:a).size") == 1
+        assert run(interp, "{ a: 1, b: 2 }.slice(:a).size") == 1
+
+    def test_fetch_raises_missing(self, interp):
+        from repro.runtime.errors import RubyError
+
+        with pytest.raises(RubyError):
+            run(interp, "{}.fetch(:missing)")
+
+
+class TestNumericMethods:
+    @pytest.mark.parametrize("src,expected", [
+        ("7 / 2", 3),
+        ("7.0 / 2", 3.5),
+        ("7 % 3", 1),
+        ("2 ** 10", 1024),
+        ("(-5).abs", 5),
+        ("7.divmod(3).first", 2),
+        ("10.gcd(4)", 2),
+        ("4.lcm(6)", 12),
+        ("3.14.floor", 3),
+        ("3.14.ceil", 4),
+        ("2.5.round", 3),
+        ("5.clamp(1, 3)", 3),
+        ("5.between?(1, 10)", True),
+        ("4.even?", True),
+        ("4.odd?", False),
+        ("0.zero?", True),
+        ("3.succ", 4),
+        ("3.pred", 2),
+        ("255.to_s(16)", "ff"),
+        ("123.digits.first", 3),
+        ("1.upto(4).length", 4),
+        ("3.times.length", 3),
+        ("10.downto(8).length", 3),
+        ("0.step(10, 5).length", 3),
+        ("65.chr", "A"),
+    ])
+    def test_values(self, interp, src, expected):
+        result = run(interp, src)
+        if isinstance(result, RString):
+            result = result.val
+        assert result == expected
+
+    def test_zero_division(self, interp):
+        from repro.runtime.errors import RubyError
+
+        with pytest.raises(RubyError):
+            run(interp, "1 / 0")
+
+    def test_times_with_block(self, interp):
+        assert run(interp, "t = 0\n3.times { |i| t += i }\nt") == 3

@@ -1,0 +1,245 @@
+"""Interpreter behaviour tests."""
+
+import pytest
+
+from repro.rtypes.kinds import Sym
+from repro.runtime import Interp, RArray, RHash, RString
+from repro.runtime.interp import RaiseSignal
+
+
+@pytest.fixture
+def interp():
+    return Interp()
+
+
+def run(interp, source):
+    return interp.run(source)
+
+
+class TestBasics:
+    def test_arithmetic(self, interp):
+        assert run(interp, "1 + 2 * 3") == 7
+
+    def test_string_concat(self, interp):
+        result = run(interp, "'a' + 'b'")
+        assert isinstance(result, RString) and result.val == "ab"
+
+    def test_interpolation(self, interp):
+        result = run(interp, 'name = "world"\n"hello #{name}"')
+        assert result.val == "hello world"
+
+    def test_truthiness(self, interp):
+        assert run(interp, "if nil\n 1\nelse\n 2\nend") == 2
+        assert run(interp, "if 0\n 1\nelse\n 2\nend") == 1
+
+    def test_and_or(self, interp):
+        assert run(interp, "nil || 5") == 5
+        assert run(interp, "3 && 4") == 4
+        assert run(interp, "false && boom()") is False
+
+    def test_while_loop(self, interp):
+        assert run(interp, "x = 0\nwhile x < 5\n x += 1\nend\nx") == 5
+
+    def test_case_when(self, interp):
+        source = "def f(x)\n case x\n when Integer\n 'int'\n when String\n 'str'\n else\n 'other'\n end\nend\nf(3).val" \
+            .replace(".val", "")
+        assert run(interp, source).val == "int"
+
+    def test_unless(self, interp):
+        assert run(interp, "unless false\n 7\nend") == 7
+
+
+class TestMethodsAndClasses:
+    def test_method_def_and_call(self, interp):
+        assert run(interp, "def double(x)\n x * 2\nend\ndouble(21)") == 42
+
+    def test_default_params(self, interp):
+        assert run(interp, "def f(a, b = 10)\n a + b\nend\nf(1)") == 11
+
+    def test_class_with_ivars(self, interp):
+        source = """
+class Point
+  def initialize(x, y)
+    @x = x
+    @y = y
+  end
+  def sum
+    @x + @y
+  end
+end
+Point.new(3, 4).sum
+"""
+        assert run(interp, source) == 7
+
+    def test_class_method(self, interp):
+        source = "class A\n def self.hi\n 'hello'\n end\nend\nA.hi"
+        assert run(interp, source).val == "hello"
+
+    def test_inheritance(self, interp):
+        source = """
+class Animal
+  def speak
+    'generic'
+  end
+end
+class Dog < Animal
+end
+Dog.new.speak
+"""
+        assert run(interp, source).val == "generic"
+
+    def test_attr_accessor(self, interp):
+        source = """
+class P
+  attr_accessor :name
+end
+p1 = P.new
+p1.name = 'x'
+p1.name
+"""
+        assert run(interp, source).val == "x"
+
+    def test_is_a(self, interp):
+        assert run(interp, "3.is_a?(Integer)") is True
+        assert run(interp, "3.is_a?(Numeric)") is True
+        assert run(interp, "3.is_a?(String)") is False
+
+    def test_return_early(self, interp):
+        source = "def f(x)\n return 'neg' if x < 0\n 'pos'\nend\nf(-1)"
+        assert run(interp, source).val == "neg"
+
+
+class TestBlocks:
+    def test_map_block(self, interp):
+        result = run(interp, "[1,2,3].map { |v| v + 1 }")
+        assert result.items == [2, 3, 4]
+
+    def test_each_accumulates_closure(self, interp):
+        source = "total = 0\n[1,2,3].each { |v| total += v }\ntotal"
+        assert run(interp, source) == 6
+
+    def test_select(self, interp):
+        result = run(interp, "[1,2,3,4].select { |v| v.even? }")
+        assert result.items == [2, 4]
+
+    def test_yield(self, interp):
+        source = "def twice\n yield(1) + yield(2)\nend\ntwice { |x| x * 10 }"
+        assert run(interp, source) == 30
+
+    def test_block_given(self, interp):
+        source = "def f\n if block_given?\n yield\n else\n 0\n end\nend\nf { 9 } + f"
+        assert run(interp, source) == 9
+
+    def test_break_in_block(self, interp):
+        source = "[1,2,3].each { |v| break 99 if v == 2 }"
+        assert run(interp, source) == 99
+
+    def test_reduce(self, interp):
+        assert run(interp, "[1,2,3,4].reduce(0) { |acc, v| acc + v }") == 10
+
+    def test_symbol_to_proc(self, interp):
+        result = run(interp, "['a','b'].map(&:upcase)")
+        assert [s.val for s in result.items] == ["A", "B"]
+
+    def test_lambda_call(self, interp):
+        assert run(interp, "f = lambda { |x| x * 2 }\nf.call(5)") == 10
+
+    def test_return_in_block_exits_method(self, interp):
+        source = "def f\n [1,2,3].each { |v| return v if v == 2 }\n 0\nend\nf"
+        assert run(interp, source) == 2
+
+
+class TestCollections:
+    def test_hash_literal_and_lookup(self, interp):
+        result = run(interp, "h = { a: 1, b: 2 }\nh[:b]")
+        assert result == 2
+
+    def test_hash_store(self, interp):
+        result = run(interp, "h = {}\nh[:x] = 5\nh[:x]")
+        assert result == 5
+
+    def test_hash_merge(self, interp):
+        result = run(interp, "{ a: 1 }.merge({ b: 2 })")
+        assert isinstance(result, RHash) and len(result) == 2
+
+    def test_array_first_last(self, interp):
+        assert run(interp, "[1,2,3].first") == 1
+        assert run(interp, "[1,2,3].last") == 3
+
+    def test_array_join(self, interp):
+        assert run(interp, "[1,2,3].join('-')").val == "1-2-3"
+
+    def test_array_include(self, interp):
+        assert run(interp, "[1,2,3].include?(2)") is True
+
+    def test_string_split(self, interp):
+        result = run(interp, "'a,b,c'.split(',')")
+        assert [s.val for s in result.items] == ["a", "b", "c"]
+
+    def test_string_mutation(self, interp):
+        assert run(interp, "s = 'ab'\ns << 'c'\ns").val == "abc"
+
+    def test_range_to_a(self, interp):
+        assert run(interp, "(1..4).to_a").items == [1, 2, 3, 4]
+
+    def test_nested_access(self, interp):
+        result = run(interp, "h = { info: ['x', 'y'] }\nh[:info].first")
+        assert result.val == "x"
+
+
+class TestExceptions:
+    def test_raise_and_rescue(self, interp):
+        source = "begin\n raise 'boom'\nrescue => e\n e.message\nend"
+        assert run(interp, source).val == "boom"
+
+    def test_rescue_class_filter(self, interp):
+        source = "begin\n raise ArgumentError, 'bad'\nrescue ArgumentError => e\n 'caught'\nend"
+        assert run(interp, source).val == "caught"
+
+    def test_unmatched_class_propagates(self, interp):
+        with pytest.raises(RaiseSignal):
+            run(interp, "begin\n raise ArgumentError, 'x'\nrescue NameError\n 1\nend")
+
+    def test_undefined_constant_raises(self, interp):
+        with pytest.raises(RaiseSignal) as exc:
+            run(interp, "Field")
+        assert "uninitialized constant Field" in exc.value.exc.message
+
+    def test_nomethod_error(self, interp):
+        with pytest.raises(RaiseSignal) as exc:
+            run(interp, "3.upcase")
+        assert "undefined method" in exc.value.exc.message
+
+    def test_puts_captured(self, interp):
+        run(interp, "puts 'hello'")
+        assert interp.stdout == ["hello\n"]
+
+
+class TestOutputAndMisc:
+    def test_multi_assign(self, interp):
+        assert run(interp, "a, b = 1, 2\na + b") == 3
+
+    def test_op_assign_or(self, interp):
+        assert run(interp, "x = nil\nx ||= 4\nx") == 4
+
+    def test_defined_probe(self, interp):
+        assert run(interp, "defined?(NotAConstant)") is None
+
+    def test_freeze_string(self, interp):
+        from repro.runtime.errors import RubyError
+
+        with pytest.raises(RubyError):
+            run(interp, "s = 'a'.freeze\ns << 'b'")
+
+    def test_send(self, interp):
+        assert run(interp, "3.send(:+, 4)") == 7
+
+    def test_to_s_chain(self, interp):
+        assert run(interp, "123.to_s").val == "123"
+
+    def test_sort(self, interp):
+        assert run(interp, "[3,1,2].sort").items == [1, 2, 3]
+
+    def test_sort_by(self, interp):
+        result = run(interp, "['bb','a','ccc'].sort_by { |s| s.length }")
+        assert [s.val for s in result.items] == ["a", "bb", "ccc"]

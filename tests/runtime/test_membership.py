@@ -1,0 +1,106 @@
+"""Tests for runtime type membership (the predicate behind ⌈A⌉ checks)."""
+
+import pytest
+
+from repro.rtypes import (
+    AnyType,
+    BotType,
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    NominalType,
+    SingletonType,
+    Sym,
+    TupleType,
+    make_union,
+)
+from repro.rtypes.kinds import ClassRef
+from repro.runtime import Interp, RArray, RHash, RString, value_has_type
+
+
+@pytest.fixture
+def interp():
+    return Interp()
+
+
+class TestScalars:
+    def test_integers(self, interp):
+        assert value_has_type(interp, 3, NominalType("Integer"))
+        assert value_has_type(interp, 3, NominalType("Numeric"))
+        assert not value_has_type(interp, 3, NominalType("String"))
+
+    def test_booleans_not_integers(self, interp):
+        assert not value_has_type(interp, True, NominalType("Integer"))
+        assert value_has_type(interp, True, NominalType("Boolean"))
+        assert value_has_type(interp, False, NominalType("Boolean"))
+
+    def test_nil(self, interp):
+        assert value_has_type(interp, None, SingletonType(None))
+        assert value_has_type(interp, None, NominalType("NilClass"))
+        assert not value_has_type(interp, None, NominalType("Integer"))
+
+    def test_singletons(self, interp):
+        assert value_has_type(interp, 42, SingletonType(42))
+        assert not value_has_type(interp, 41, SingletonType(42))
+        assert value_has_type(interp, Sym("a"), SingletonType(Sym("a")))
+
+    def test_class_singleton(self, interp):
+        klass = interp.classes["Integer"]
+        assert value_has_type(interp, klass, SingletonType(ClassRef("Integer")))
+
+    def test_any_and_bot(self, interp):
+        assert value_has_type(interp, 1, AnyType())
+        assert not value_has_type(interp, 1, BotType())
+
+    def test_union(self, interp):
+        u = make_union([NominalType("Integer"), NominalType("String")])
+        assert value_has_type(interp, 1, u)
+        assert value_has_type(interp, RString("x"), u)
+        assert not value_has_type(interp, Sym("x"), u)
+
+    def test_const_string(self, interp):
+        t = ConstStringType("sql")
+        assert value_has_type(interp, RString("sql"), t)
+        assert not value_has_type(interp, RString("other"), t)
+        t.promote()
+        assert value_has_type(interp, RString("other"), t)
+
+
+class TestContainers:
+    def test_typed_array(self, interp):
+        t = GenericType("Array", [NominalType("Integer")])
+        assert value_has_type(interp, RArray([1, 2]), t)
+        assert not value_has_type(interp, RArray([1, RString("x")]), t)
+
+    def test_tuple(self, interp):
+        t = TupleType([NominalType("Integer"), NominalType("String")])
+        assert value_has_type(interp, RArray([1, RString("x")]), t)
+        assert not value_has_type(interp, RArray([1]), t)
+
+    def test_typed_hash(self, interp):
+        t = GenericType("Hash", [NominalType("Symbol"), NominalType("Integer")])
+        h = RHash.from_pairs([(Sym("a"), 1)])
+        assert value_has_type(interp, h, t)
+        h.set(Sym("b"), RString("x"))
+        assert not value_has_type(interp, h, t)
+
+    def test_finite_hash(self, interp):
+        t = FiniteHashType({Sym("name"): NominalType("String")})
+        ok = RHash.from_pairs([(Sym("name"), RString("x"))])
+        assert value_has_type(interp, ok, t)
+        missing = RHash.from_pairs([])
+        assert not value_has_type(interp, missing, t)
+        extra = RHash.from_pairs([(Sym("name"), RString("x")), (Sym("z"), 1)])
+        assert not value_has_type(interp, extra, t)
+
+    def test_finite_hash_optional_key(self, interp):
+        t = FiniteHashType({Sym("a"): NominalType("Integer")},
+                           optional_keys={Sym("a")})
+        assert value_has_type(interp, RHash(), t)
+
+    def test_user_instance(self, interp):
+        interp.run("class Animal\nend\nclass Dog < Animal\nend")
+        dog = interp.run("Dog.new")
+        assert value_has_type(interp, dog, NominalType("Dog"))
+        assert value_has_type(interp, dog, NominalType("Animal"))
+        assert not value_has_type(interp, dog, NominalType("String"))

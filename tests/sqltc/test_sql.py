@@ -1,0 +1,128 @@
+"""SQL subset: parser, type checker (Fig. 3), and evaluator tests."""
+
+import pytest
+
+from repro import Database
+from repro.sqltc import (
+    SqlParseError,
+    SqlTypeError,
+    check_fragment,
+    eval_where_fragment,
+    parse_query,
+    parse_where_fragment,
+    wrap_fragment,
+)
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.create_table("posts", topic_id="integer", raw="string")
+    d.create_table("topics", title="string", views="integer")
+    d.create_table("topic_allowed_groups", group_id="integer",
+                   topic_id="integer")
+    d.insert("topics", {"title": "welcome", "views": 10})
+    d.insert("posts", {"topic_id": 1, "raw": "hi"})
+    d.insert("topic_allowed_groups", {"group_id": 7, "topic_id": 1})
+    return d
+
+
+class TestParser:
+    def test_full_query(self):
+        q = parse_query("SELECT * FROM posts INNER JOIN topics ON a.id = b.a_id "
+                        "WHERE topics.title = 'x'")
+        assert q.table == "posts"
+        assert q.joins[0].table == "topics"
+
+    def test_fragment(self):
+        cond = parse_where_fragment("title = ? AND views > 3")
+        assert cond is not None
+
+    def test_in_subquery(self):
+        cond = parse_where_fragment(
+            "topic_id IN (SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?)")
+        assert cond.subquery.table == "topic_allowed_groups"
+
+    def test_is_null(self):
+        cond = parse_where_fragment("title IS NOT NULL")
+        assert cond.negated
+
+    def test_bad_sql_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_where_fragment("SELECT FROM WHERE")
+
+    def test_wrap_fragment(self):
+        sql = wrap_fragment("title = 'x'", ["posts", "topics"])
+        assert sql.startswith("SELECT * FROM posts INNER JOIN topics")
+        parse_query(sql)  # the artificial query must parse (§2.3)
+
+
+class TestChecker:
+    def test_fig3_bug_detected(self, db):
+        with pytest.raises(SqlTypeError) as err:
+            check_fragment(db, ["posts", "topics"],
+                           "topics.title IN (SELECT topic_id FROM "
+                           "topic_allowed_groups WHERE group_id = ?)",
+                           ["integer"])
+        assert "topics.title" in str(err.value)
+
+    def test_fixed_query_ok(self, db):
+        check_fragment(db, ["posts", "topics"],
+                       "posts.topic_id IN (SELECT topic_id FROM "
+                       "topic_allowed_groups WHERE group_id = ?)",
+                       ["integer"])
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlTypeError):
+            check_fragment(db, ["posts"], "missing_col = 3", [])
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlTypeError):
+            check_fragment(db, ["posts"], "ghosts.name = 'x'", [])
+
+    def test_placeholder_kind_mismatch(self, db):
+        with pytest.raises(SqlTypeError):
+            check_fragment(db, ["posts"], "topic_id = ?", ["string"])
+
+    def test_missing_placeholder_arg(self, db):
+        with pytest.raises(SqlTypeError):
+            check_fragment(db, ["posts"], "topic_id = ?", [])
+
+    def test_boolean_ordering_rejected(self, db):
+        db.add_column("posts", "deleted", "boolean")
+        with pytest.raises(SqlTypeError):
+            check_fragment(db, ["posts"], "deleted > true", [])
+
+    def test_unqualified_column_resolution(self, db):
+        check_fragment(db, ["posts", "topics"], "views > 3", [])
+
+
+class TestEvaluator:
+    def test_simple_comparison(self, db):
+        row = db.all_rows("topics")[0]
+        assert eval_where_fragment(db, "topics", [], "views > 3", (), row)
+        assert not eval_where_fragment(db, "topics", [], "views > 30", (), row)
+
+    def test_placeholder(self, db):
+        row = db.all_rows("topics")[0]
+        assert eval_where_fragment(db, "topics", [], "title = ?", ("welcome",), row)
+
+    def test_in_subquery(self, db):
+        row = db.all_rows("posts")[0]
+        assert eval_where_fragment(
+            db, "posts", [],
+            "topic_id IN (SELECT topic_id FROM topic_allowed_groups "
+            "WHERE group_id = ?)", (7,), row)
+        assert not eval_where_fragment(
+            db, "posts", [],
+            "topic_id IN (SELECT topic_id FROM topic_allowed_groups "
+            "WHERE group_id = ?)", (99,), row)
+
+    def test_and_or_not(self, db):
+        row = db.all_rows("topics")[0]
+        assert eval_where_fragment(db, "topics", [],
+                                   "views > 3 AND title = 'welcome'", (), row)
+        assert eval_where_fragment(db, "topics", [],
+                                   "views > 30 OR title = 'welcome'", (), row)
+        assert not eval_where_fragment(db, "topics", [],
+                                       "NOT title = 'welcome'", (), row)
