@@ -1,0 +1,150 @@
+"""Benchmark: incremental re-checking after a schema migration.
+
+Scenario (the workflow the incremental subsystem exists for): an app is
+fully checked once, then a single-column migration lands, and the checker
+must re-verify.  Cold checking re-checks every method from scratch; the
+incremental engine re-checks only the methods whose recorded dependencies
+the migration touched, with warm comp/AST caches for everything else.
+
+For each Table 2 subject app we measure, over ``ROUNDS`` migration rounds:
+
+* **cold** — a fresh universe + full ``check`` after the same migration;
+* **incremental** — ``recheck_dirty()`` on the already-checked universe.
+
+Verdict parity (same errors, same method coverage) is asserted every round.
+Run as a script (``python benchmarks/bench_incremental.py``) or through
+pytest (``pytest benchmarks/bench_incremental.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps import all_apps
+
+ROUNDS = 3
+COLUMN = "bench_migrated_col"
+
+
+def _median_table(rdl) -> str | None:
+    """The migration target: the table with median checked-method fanout —
+    neither a best case (unused table) nor a worst case (hot table).
+    ``None`` for apps without a database schema."""
+    fanout = rdl.incremental.table_fanout()
+    tables = sorted(rdl.db.tables, key=lambda t: fanout.get(t, 0))
+    if not tables:
+        return None
+    return tables[len(tables) // 2]
+
+
+def _errors_key(report) -> list[str]:
+    return sorted(str(e) for e in report.errors)
+
+
+def bench_app(app, rounds: int = ROUNDS) -> dict:
+    """Measure cold vs incremental re-check times for one subject app."""
+    rdl = app.build()
+    t0 = time.perf_counter()
+    baseline = rdl.check_all(app.label)
+    cold_first = time.perf_counter() - t0
+
+    table = _median_table(rdl)
+    if table is None:
+        # schema-less app: the "migration" creates a table instead, which
+        # can only dirty whole-schema (wildcard) readers
+        table = "bench_tables"
+        rdl.db.create_table(table)
+    cold_total = 0.0
+    warm_total = 0.0
+    rechecked = 0
+    for round_no in range(rounds):
+        column = f"{COLUMN}_{round_no}"
+        rdl.db.add_column(table, column, "string")
+        dirty = len(rdl.incremental.dirty)
+        t0 = time.perf_counter()
+        warm_report = rdl.recheck_dirty()
+        warm_total += time.perf_counter() - t0
+        rechecked += dirty
+
+        fresh = app.build()
+        if table not in fresh.db.tables:
+            fresh.db.create_table(table)
+        for previous in range(round_no + 1):
+            fresh.db.add_column(table, f"{COLUMN}_{previous}", "string")
+        t0 = time.perf_counter()
+        fresh_report = fresh.check(app.label)
+        cold_total += time.perf_counter() - t0
+
+        assert _errors_key(warm_report) == _errors_key(fresh_report), (
+            f"{app.name}: incremental verdicts diverged from a full check "
+            f"after migrating {table!r}\n"
+            f"incremental: {_errors_key(warm_report)}\n"
+            f"full:        {_errors_key(fresh_report)}")
+        assert sorted(warm_report.checked_methods) == \
+            sorted(fresh_report.checked_methods)
+
+    stats = rdl.incremental_stats
+    return {
+        "app": app.name,
+        "methods": len(baseline.checked_methods),
+        "table": table,
+        "dirty_per_round": rechecked / rounds,
+        "cold_first_s": cold_first,
+        "cold_s": cold_total / rounds,
+        "warm_s": warm_total / rounds,
+        "speedup": (cold_total / warm_total) if warm_total else float("inf"),
+        "hit_rate": stats.comp_hit_rate,
+        "stats": stats,
+    }
+
+
+def main() -> int:
+    rows = [bench_app(app) for app in all_apps()]
+
+    header = (f"{'app':<12} {'methods':>7} {'migrated table':<16} "
+              f"{'dirty':>5} {'cold (ms)':>10} {'incr (ms)':>10} "
+              f"{'speedup':>8} {'hit rate':>9}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['app']:<12} {row['methods']:>7} {row['table']:<16} "
+              f"{row['dirty_per_round']:>5.1f} {row['cold_s'] * 1e3:>10.1f} "
+              f"{row['warm_s'] * 1e3:>10.1f} {row['speedup']:>7.1f}x "
+              f"{row['hit_rate']:>8.1%}")
+
+    total_cold = sum(r["cold_s"] for r in rows)
+    total_warm = sum(r["warm_s"] for r in rows)
+    overall = total_cold / total_warm if total_warm else float("inf")
+    print("-" * len(header))
+    print(f"overall: cold {total_cold * 1e3:.1f} ms vs incremental "
+          f"{total_warm * 1e3:.1f} ms per migration round — "
+          f"{overall:.1f}x faster")
+    print()
+    print("aggregate cache statistics (per app):")
+    for row in rows:
+        print(f"  {row['app']}:")
+        for line in row["stats"].summary().splitlines():
+            print(f"    {line}")
+
+    if overall < 2.0:
+        print(f"FAIL: expected >= 2x speedup, got {overall:.2f}x")
+        return 1
+    print(f"PASS: re-check after a one-column migration is "
+          f"{overall:.1f}x faster than a cold full check (>= 2x required)")
+    return 0
+
+
+def test_incremental_recheck_speedup():
+    """Pytest entry point: >= 2x aggregate speedup with verdict parity."""
+    rows = [bench_app(app) for app in all_apps()]
+    total_cold = sum(r["cold_s"] for r in rows)
+    total_warm = sum(r["warm_s"] for r in rows)
+    assert total_warm > 0
+    overall = total_cold / total_warm
+    assert overall >= 2.0, (
+        f"incremental re-check only {overall:.2f}x faster than cold "
+        f"({[(r['app'], round(r['speedup'], 2)) for r in rows]})")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

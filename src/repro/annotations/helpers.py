@@ -215,9 +215,10 @@ def _scope_tables(i, tself) -> list[str]:
             for key, value in fh.elts.items():
                 if isinstance(value, FiniteHashType) and isinstance(key, Sym):
                     joined.append(key.name)
-            # base table: best-effort reverse lookup by column shape
+            # base table: best-effort reverse lookup by column shape (reads
+            # the whole schema, so it registers a wildcard dependency)
             if i.db is not None:
-                for name, schema in i.db.tables.items():
+                for name, schema in i.db.all_schemas().items():
                     columns = set(schema.columns)
                     keys = {k.name for k in fh.elts if isinstance(k, Sym)
                             and not isinstance(fh.elts[k], FiniteHashType)}

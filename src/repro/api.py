@@ -27,6 +27,7 @@ from __future__ import annotations
 from repro.annotations import install_all
 from repro.comp.reflect import install_type_reflection
 from repro.db.schema import Database
+from repro.incremental import IncrementalScheduler, IncrementalStats
 from repro.orm.activerecord import install_activerecord
 from repro.orm.sequel import install_sequel
 from repro.runtime.interp import Interp
@@ -62,6 +63,8 @@ class CompRDL:
             repair_with_casts=repair_with_casts,
         )
         self.checker = TypeChecker(self.interp, self.registry, self.config)
+        self.incremental = IncrementalScheduler(self.checker, self.registry,
+                                                self.db)
 
     # ------------------------------------------------------------------
     def load(self, source: str):
@@ -82,6 +85,29 @@ class CompRDL:
         for label in self.registry.typecheck_requests:
             self.checker.check_label(label)
         return self.checker.report
+
+    # ------------------------------------------------------------------
+    # incremental checking (schema-versioned memoization + dirty tracking)
+    # ------------------------------------------------------------------
+    def check_all(self, labels) -> TypeErrorReport:
+        """Batch-check one or more labels through the incremental engine.
+
+        The first call verifies everything; subsequent calls (including
+        after schema migrations) reuse every verdict whose recorded
+        dependencies are untouched and re-check only the rest.
+        """
+        return self.incremental.check_all(labels)
+
+    def recheck_dirty(self) -> TypeErrorReport:
+        """Re-verify only methods dirtied by schema changes since the last
+        ``check_all``; the returned report covers every known method,
+        verdict-for-verdict equal to a full re-check."""
+        return self.incremental.recheck_dirty()
+
+    @property
+    def incremental_stats(self) -> IncrementalStats:
+        """Cache hit/miss and scheduling counters for this universe."""
+        return self.checker.engine.stats
 
     # ------------------------------------------------------------------
     def run(self, source: str, checks: bool | None = None):

@@ -6,12 +6,31 @@ the signature's argument type variables bound to *types*, and (3) required
 to yield a type (``Type``-typed in λC; enforced here by checking the result
 is an RDL type object).  Results convert class constants to nominal types so
 comp code may simply write ``String`` for ``Nominal.new(String)``.
+
+Evaluation is memoized through the incremental subsystem
+(:mod:`repro.incremental`): results are keyed on ``(comp code, binding
+types)`` and stamped with the database schema generation plus the set of
+tables the evaluation actually read, so a schema migration invalidates only
+the comp results that depended on the migrated table.  Every evaluation is
+also attributed to the enclosing method's dependency scope, which is what
+lets the incremental scheduler re-check only dirty methods.
 """
 
 from __future__ import annotations
 
+from repro.incremental.cache import AstCache, CompEvalCache, binding_key
+from repro.incremental.deps import DependencyTracker
+from repro.incremental.stats import IncrementalStats
 from repro.lang.parser import parse_program
-from repro.rtypes import CompExpr, RType
+from repro.rtypes import (
+    CompExpr,
+    ConstStringType,
+    FiniteHashType,
+    GenericType,
+    RType,
+    TupleType,
+    UnionType,
+)
 from repro.runtime.errors import RubyError
 from repro.runtime.interp import Env, Frame, RaiseSignal
 from repro.typecheck.errors import StaticTypeError
@@ -26,9 +45,32 @@ class CompEngine:
         self.interp = interp
         self.registry = registry
         self.termination = TerminationChecker(interp, registry)
-        self._ast_cache: dict[str, object] = {}
-        self._recheck_cache: dict[tuple, RType] = {}
+        self.stats = IncrementalStats()
+        self.deps = DependencyTracker()
+        self.asts = AstCache(stats=self.stats)
+        self.cache = CompEvalCache(stats=self.stats)
+        db = getattr(interp, "db", None)
+        if db is not None and hasattr(db, "add_read_listener"):
+            db.add_read_listener(self.deps.note_table)
 
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """The database schema generation comp results are valid at."""
+        db = getattr(self.interp, "db", None)
+        return getattr(db, "version", 0) if db is not None else 0
+
+    def _journal(self):
+        db = getattr(self.interp, "db", None)
+        return getattr(db, "journal", None)
+
+    def _diag(self, message: str) -> str:
+        """Tag comp-evaluation failures with the cache/schema generation so
+        stale-cache bugs are diagnosable from the error text alone."""
+        return (f"{message} [schema gen {self.generation}, "
+                f"comp cache {len(self.cache)} entries]")
+
+    # ------------------------------------------------------------------
     def evaluate(
         self,
         comp: CompExpr,
@@ -42,58 +84,97 @@ class CompEngine:
         signature's argument type variables) to the types observed at the
         call site.  Raises :class:`StaticTypeError` if the code fails the
         termination check, raises, or does not produce a type.
+
+        Successful evaluations are memoized; a hit replays the entry's
+        table footprint into the active dependency scope so incremental
+        invalidation stays sound even when evaluation is skipped.
         """
-        program = self._ast_cache.get(comp.code)
+        generation = self.generation
+        self.deps.note_comp(comp.code)
+        bkey = binding_key(bindings)
+        entry = self.cache.lookup(comp.code, bkey, generation, self._journal())
+        if entry is not None:
+            self.deps.note_tables(entry.tables)
+            return _fresh(entry.value)
+
+        program = self.asts.get(comp.code)
         if program is None:
             try:
                 program = parse_program(comp.code)
             except Exception as exc:
                 raise StaticTypeError(
-                    f"comp type does not parse: {exc}", line, context
+                    self._diag(f"comp type does not parse: {exc}"),
+                    line, context,
                 )
             self.termination.check_comp_code(program, comp.code)
-            self._ast_cache[comp.code] = program
+            self.asts.store(comp.code, program)
 
         env = Env()
         env.vars.update(bindings)
         frame = Frame(self.interp.main, env,
                       defining_class=self.interp.classes["Object"])
-        try:
-            result = self.interp.eval_body(program.body, frame)
-        except RaiseSignal as sig:
-            raise StaticTypeError(
-                f"comp type evaluation raised {sig.exc.rclass.name}: "
-                f"{sig.exc.message}", line, context
-            )
-        except RubyError as exc:
-            raise StaticTypeError(
-                f"comp type evaluation failed: {exc}", line, context
-            )
-        try:
-            return to_rtype(self.interp, result)
-        except RubyError:
-            raise StaticTypeError(
-                f"comp type did not evaluate to a type (got {result!r})",
-                line, context,
-            )
+        with self.deps.capture() as scope:
+            try:
+                result = self.interp.eval_body(program.body, frame)
+            except RaiseSignal as sig:
+                raise StaticTypeError(
+                    self._diag(
+                        f"comp type evaluation raised {sig.exc.rclass.name}: "
+                        f"{sig.exc.message}"),
+                    line, context,
+                )
+            except RubyError as exc:
+                raise StaticTypeError(
+                    self._diag(f"comp type evaluation failed: {exc}"),
+                    line, context,
+                )
+            try:
+                value = to_rtype(self.interp, result)
+            except RubyError:
+                raise StaticTypeError(
+                    self._diag(
+                        f"comp type did not evaluate to a type (got {result!r})"),
+                    line, context,
+                )
+        self.cache.store(comp.code, bkey, generation, scope.tables, value)
+        # the first caller must not alias the cache entry either: weak
+        # updates widen types in place, which would pollute later hits
+        return _fresh(value)
 
     def evaluate_for_check(self, comp: CompExpr, bindings: dict[str, RType],
                            line: int = 0, context: str = "") -> RType:
         """Comp re-evaluation for runtime consistency checks (§4).
 
         The mutable state our type-level helpers consult is the database
-        schema, so results are cached keyed on (code, bindings, db.version):
-        a schema mutation invalidates the cache and forces a genuine
-        re-evaluation, preserving the consistency-check semantics while
-        keeping steady-state overhead low.
+        schema, and :meth:`evaluate` is already memoized per schema
+        generation (with per-table invalidation), so a schema mutation
+        forces a genuine re-evaluation — preserving the consistency-check
+        semantics while keeping steady-state overhead low.
         """
-        version = getattr(self.interp.db, "version", 0) if self.interp.db else 0
-        key = (comp.code,
-               tuple(sorted((k, v.to_s()) for k, v in bindings.items())),
-               version)
-        cached = self._recheck_cache.get(key)
-        if cached is not None:
-            return cached
-        result = self.evaluate(comp, bindings, line, context)
-        self._recheck_cache[key] = result
-        return result
+        return self.evaluate(comp, bindings, line, context)
+
+
+def _fresh(value: RType) -> RType:
+    """A recursive copy of a cached result along mutable structure.
+
+    Weak updates widen tuples / finite hashes / const strings *in place*
+    (including elements nested inside containers, e.g. ``promote()`` on a
+    const string held by a tuple), so distinct call sites must never alias
+    one cache entry.  Immutable leaves are shared as-is."""
+    if isinstance(value, TupleType):
+        return TupleType([_fresh(t) for t in value.elts])
+    if isinstance(value, FiniteHashType):
+        return FiniteHashType({k: _fresh(t) for k, t in value.elts.items()},
+                              rest=value.rest,
+                              optional_keys=set(value.optional_keys))
+    if isinstance(value, ConstStringType):
+        copy = ConstStringType(value.value)
+        copy.is_promoted = value.is_promoted
+        return copy
+    if isinstance(value, GenericType):
+        return GenericType(value.base, [_fresh(t) for t in value.params])
+    if isinstance(value, UnionType):
+        from repro.rtypes import make_union
+
+        return make_union([_fresh(t) for t in value.types])
+    return value

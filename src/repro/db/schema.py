@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.incremental.versioning import WILDCARD, SchemaEvent, SchemaJournal
 from repro.rtypes import FiniteHashType, GenericType, NominalType, RType
 from repro.rtypes.kinds import Sym
 from repro.runtime.objects import RHash, RString
@@ -71,9 +72,37 @@ class Database:
         # has_many / belongs_to — consulted by the `joins` comp type
         self.associations: set[tuple[str, str]] = set()
         self._next_ids: dict[str, int] = {}
-        # bumped on every schema mutation; comp-type re-evaluation caches
-        # key on it so consistency checks stay sound (§4) but cheap
+        # bumped on every schema mutation; comp-type caches key on it so
+        # consistency checks stay sound (§4) but cheap
         self.version = 0
+        # the incremental engine's view of this database: a journal of what
+        # each generation changed, plus read/change listeners
+        self.journal = SchemaJournal()
+        self.read_listeners: list = []
+        self.change_listeners: list = []
+
+    # -- incremental hooks -------------------------------------------------
+    def add_read_listener(self, listener) -> None:
+        """``listener(table, column=None)`` fires on every schema read."""
+        if listener not in self.read_listeners:
+            self.read_listeners.append(listener)
+
+    def add_change_listener(self, listener) -> None:
+        """``listener(event)`` fires after every schema mutation."""
+        if listener not in self.change_listeners:
+            self.change_listeners.append(listener)
+
+    def note_read(self, table: str, column: str | None = None) -> None:
+        for listener in self.read_listeners:
+            listener(table, column)
+
+    def _mutated(self, kind: str, table: str, column: str | None = None,
+                 detail: str | None = None) -> None:
+        self.version += 1
+        event = SchemaEvent(kind, self.version, table, column, detail)
+        self.journal.record(event)
+        for listener in self.change_listeners:
+            listener(event)
 
     # -- schema -----------------------------------------------------------
     def create_table(self, table_name: str, **columns: str) -> TableSchema:
@@ -89,36 +118,71 @@ class Database:
         self.tables[table_name] = schema
         self.rows[table_name] = []
         self._next_ids[table_name] = 1
-        self.version += 1
+        self._mutated("create_table", table_name)
         return schema
+
+    def drop_table(self, table: str) -> None:
+        """Remove a whole table (migration)."""
+        self.tables.pop(table, None)
+        self.rows.pop(table, None)
+        self._next_ids.pop(table, None)
+        self.associations = {
+            pair for pair in self.associations if table not in pair
+        }
+        self._mutated("drop_table", table)
 
     def drop_column(self, table: str, column: str) -> None:
         """Remove a column (used to exercise comp-type consistency checks)."""
         schema = self.tables[table]
         schema.columns.pop(column, None)
         schema._fh_cache = None
-        self.version += 1
+        self._mutated("drop_column", table, column)
 
     def add_column(self, table: str, column: str, kind: str) -> None:
         self.tables[table].columns[column] = Column(column, kind)
         self.tables[table]._fh_cache = None
-        self.version += 1
+        self._mutated("add_column", table, column)
+
+    def rename_column(self, table: str, column: str, new_name: str) -> None:
+        """Rename a column in place, preserving order and row data."""
+        schema = self.tables[table]
+        if column not in schema.columns:
+            raise KeyError(f"no column {column!r} in table {table!r}")
+        schema.columns = {
+            (new_name if name == column else name):
+                (Column(new_name, col.kind) if name == column else col)
+            for name, col in schema.columns.items()
+        }
+        schema._fh_cache = None
+        for row in self.rows.get(table, []):
+            if column in row:
+                row[new_name] = row.pop(column)
+        self._mutated("rename_column", table, column, detail=new_name)
 
     def schema_of(self, table: str) -> TableSchema | None:
+        self.note_read(table)
         return self.tables.get(table)
+
+    def all_schemas(self) -> dict[str, TableSchema]:
+        """Every table schema; registers a wildcard read (whole-schema
+        consumers like ``RDL.db_schema`` depend on any change)."""
+        self.note_read(WILDCARD)
+        return dict(self.tables)
 
     def schema_hash(self) -> RHash:
         """``RDL.db_schema``: table name symbol → ``Table<{...}>`` type."""
         result = RHash()
-        for name, schema in self.tables.items():
+        for name, schema in self.all_schemas().items():
             result.set(Sym(name), schema.table_type())
         return result
 
     def declare_association(self, owner_table: str, assoc_table: str) -> None:
         self.associations.add((owner_table, assoc_table))
-        self.version += 1
+        self._mutated("association", owner_table, detail=assoc_table)
 
     def associated(self, owner_table: str, assoc_table: str) -> bool:
+        self.note_read(owner_table)
+        self.note_read(assoc_table)
         return (owner_table, assoc_table) in self.associations
 
     # -- rows ----------------------------------------------------------------

@@ -1,0 +1,44 @@
+"""Incremental checking engine: comp-type memoization with schema-versioned
+invalidation.
+
+Kazerounian et al. (PLDI 2019) note that caching comp-type evaluations is
+what keeps checking tractable at library scale.  This package provides the
+pieces and the glue:
+
+* :mod:`~repro.incremental.versioning` — schema generations and the change
+  journal (`SchemaEvent`, `SchemaJournal`);
+* :mod:`~repro.incremental.cache` — LRU memoization of parsed comp ASTs and
+  evaluated comp results keyed on ``(code, binding types, generation)``;
+* :mod:`~repro.incremental.deps` — per-method dependency tracking (tables,
+  columns, comp expressions read while checking);
+* :mod:`~repro.incremental.scheduler` — dirty-method bookkeeping plus the
+  ``check_all`` / ``recheck_dirty`` entry points;
+* :mod:`~repro.incremental.stats` — shared hit/miss/invalidations counters.
+"""
+
+from repro.incremental.cache import AstCache, CacheEntry, CompEvalCache, binding_key
+from repro.incremental.deps import DependencyTracker, MethodDeps
+from repro.incremental.scheduler import IncrementalScheduler, MethodResult
+from repro.incremental.stats import IncrementalStats
+from repro.incremental.versioning import (
+    WILDCARD,
+    SchemaEvent,
+    SchemaJournal,
+    affects,
+)
+
+__all__ = [
+    "AstCache",
+    "CacheEntry",
+    "CompEvalCache",
+    "DependencyTracker",
+    "IncrementalScheduler",
+    "IncrementalStats",
+    "MethodDeps",
+    "MethodResult",
+    "SchemaEvent",
+    "SchemaJournal",
+    "WILDCARD",
+    "affects",
+    "binding_key",
+]

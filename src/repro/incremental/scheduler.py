@@ -1,0 +1,156 @@
+"""The incremental re-check scheduler.
+
+Sits between the public facade and the :class:`TypeChecker`: it remembers
+every method verdict (errors + cast counts) together with the schema
+generation it was computed at, listens to schema-change events from the
+database, and dirties exactly the methods whose recorded dependencies a
+change touches.  ``check_all`` / ``recheck_dirty`` then re-verify only
+dirty or never-checked methods and assemble a full report from cached
+verdicts for the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.incremental.versioning import SchemaEvent
+from repro.typecheck.errors import StaticTypeError, TypeErrorReport
+
+
+@dataclass
+class MethodResult:
+    """One method's cached verdict."""
+
+    key: object               # MethodKey
+    desc: str
+    errors: list[StaticTypeError] = field(default_factory=list)
+    casts_used: int = 0
+    oracle_casts: int = 0
+    generation: int = 0
+
+
+class IncrementalScheduler:
+    """Dirty-set bookkeeping + batch / incremental checking entry points."""
+
+    def __init__(self, checker, registry, db=None):
+        self.checker = checker
+        self.registry = registry
+        self.db = db
+        self.tracker = checker.engine.deps
+        self.stats = checker.engine.stats
+        self.results: dict[object, MethodResult] = {}
+        self.dirty: set[object] = set()
+        self.labels: list[str] = []
+        if db is not None and hasattr(db, "add_change_listener"):
+            db.add_change_listener(self.on_schema_change)
+        if hasattr(registry, "add_method_listener"):
+            registry.add_method_listener(self.on_method_change)
+
+    # ------------------------------------------------------------------
+    # schema-change reaction
+    # ------------------------------------------------------------------
+    def on_schema_change(self, event: SchemaEvent) -> None:
+        changed = {event.table}
+        if event.detail and event.kind == "association":
+            changed.add(event.detail)
+        affected = self.tracker.methods_affected_by(changed) & set(self.results)
+        fresh = affected - self.dirty
+        self.dirty |= affected
+        self.stats.methods_dirtied += len(fresh)
+        self.stats.schema_events += 1
+
+    def on_method_change(self, key) -> None:
+        """A ``load`` redefined a method or added an annotation: its cached
+        verdict (if any) is stale regardless of the schema generation."""
+        if key in self.results:
+            self.dirty.add(key)
+            self.stats.methods_dirtied += 1
+
+    def mark_all_dirty(self) -> None:
+        """Escape hatch: force full re-verification on the next pass."""
+        self.dirty |= set(self.results)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def check_all(self, labels) -> TypeErrorReport:
+        """Batch-check every method under ``labels``, reusing clean verdicts.
+
+        The first call populates the verdict store; later calls (or calls
+        after schema edits) re-verify only dirty / new methods.
+        """
+        if isinstance(labels, str):
+            labels = [labels]
+        labels = [label.lstrip(":") for label in labels]
+        for label in labels:
+            if label not in self.labels:
+                self.labels.append(label)
+        report = TypeErrorReport()
+        for key in self._keys_for(labels):
+            self._ensure(key, report)
+        return report
+
+    def recheck_dirty(self) -> TypeErrorReport:
+        """Re-verify only dirty methods; the report still covers every
+        method previously checked, verdict-for-verdict equal to a full
+        re-check."""
+        report = TypeErrorReport()
+        for key in self._keys_for(self.labels):
+            self._ensure(key, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _keys_for(self, labels) -> list:
+        keys: list = []
+        seen: set = set()
+        for label in labels:
+            for key in self.registry.methods_for_label(label):
+                if key not in seen:
+                    seen.add(key)
+                    keys.append(key)
+        # methods checked outside any label (direct check_method calls)
+        for key in self.results:
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        return keys
+
+    def _ensure(self, key, report: TypeErrorReport) -> None:
+        result = self.results.get(key)
+        if result is None or key in self.dirty:
+            result = self._check(key)
+        else:
+            self.stats.methods_skipped += 1
+        report.checked_methods.append(result.desc)
+        report.errors.extend(result.errors)
+        report.casts_used += result.casts_used
+        report.oracle_casts += result.oracle_casts
+
+    def _check(self, key) -> MethodResult:
+        desc, errors, casts, oracle = self.checker.check_one(
+            key.class_name, key.method_name, key.static)
+        generation = getattr(self.db, "version", 0) if self.db else 0
+        result = MethodResult(key, desc, errors, casts, oracle, generation)
+        self.results[key] = result
+        self.dirty.discard(key)
+        self.stats.methods_checked += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # introspection (benchmarks / diagnostics)
+    # ------------------------------------------------------------------
+    def dependents_of_table(self, table: str) -> set:
+        return self.tracker.dependents_of_table(table) & set(self.results)
+
+    def table_fanout(self) -> dict[str, int]:
+        """How many checked methods depend on each table (wildcard included)."""
+        fanout: dict[str, int] = {}
+        for key in self.results:
+            deps = self.tracker.deps_of(key)
+            if deps is None:
+                continue
+            for table in deps.tables:
+                fanout[table] = fanout.get(table, 0) + 1
+        return fanout

@@ -1,0 +1,78 @@
+"""Counters for the incremental checking engine.
+
+One :class:`IncrementalStats` instance is shared by the comp caches and the
+scheduler of a CompRDL universe, so a single summary answers "what did
+incrementality buy us" — cache hit rates, invalidation traffic, and how
+many method re-checks were skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IncrementalStats:
+    """Hit/miss and scheduling accounting for one CompRDL universe."""
+
+    # comp evaluation cache
+    comp_hits: int = 0
+    comp_misses: int = 0
+    comp_revalidations: int = 0   # entry survived a generation bump untouched
+    comp_invalidations: int = 0   # entry dropped because its tables changed
+    comp_evictions: int = 0       # LRU capacity evictions
+    # parsed comp ASTs (schema-independent, never invalidated)
+    ast_hits: int = 0
+    ast_misses: int = 0
+    # method scheduling
+    methods_checked: int = 0
+    methods_skipped: int = 0      # clean cached verdict reused
+    methods_dirtied: int = 0      # marked dirty by schema changes
+    schema_events: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def comp_lookups(self) -> int:
+        return self.comp_hits + self.comp_misses
+
+    @property
+    def comp_hit_rate(self) -> float:
+        lookups = self.comp_lookups
+        return self.comp_hits / lookups if lookups else 0.0
+
+    @property
+    def ast_hit_rate(self) -> float:
+        lookups = self.ast_hits + self.ast_misses
+        return self.ast_hits / lookups if lookups else 0.0
+
+    @property
+    def method_reuse_rate(self) -> float:
+        total = self.methods_checked + self.methods_skipped
+        return self.methods_skipped / total if total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"comp cache: {self.comp_hits} hits / {self.comp_misses} misses "
+            f"({self.comp_hit_rate:.1%} hit rate), "
+            f"{self.comp_revalidations} revalidated, "
+            f"{self.comp_invalidations} invalidated, "
+            f"{self.comp_evictions} evicted\n"
+            f"ast cache: {self.ast_hits} hits / {self.ast_misses} misses "
+            f"({self.ast_hit_rate:.1%} hit rate)\n"
+            f"methods: {self.methods_checked} checked, "
+            f"{self.methods_skipped} reused ({self.method_reuse_rate:.1%}), "
+            f"{self.methods_dirtied} dirtied across "
+            f"{self.schema_events} schema events"
+        )
+
+    def reset(self) -> None:
+        for name in (
+            "comp_hits", "comp_misses", "comp_revalidations",
+            "comp_invalidations", "comp_evictions", "ast_hits", "ast_misses",
+            "methods_checked", "methods_skipped", "methods_dirtied",
+            "schema_events",
+        ):
+            setattr(self, name, 0)
+        self.extra.clear()

@@ -1,0 +1,112 @@
+"""Schema generations and the change journal.
+
+The database schema is the mutable state comp types consult (§4), so every
+schema mutation gets a monotonically increasing *generation* number.  The
+journal records which tables each generation touched, letting the comp
+cache and the incremental scheduler invalidate only what a change could
+actually affect instead of flushing everything.
+
+The journal is bounded: once it forgets events (production-scale runs can
+migrate thousands of times), queries about generations older than the
+retained window conservatively answer "everything changed".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+#: Dependency marker meaning "read the whole schema" (e.g. ``RDL.db_schema``
+#: or reverse lookups over every table).  Any schema change invalidates it.
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class SchemaEvent:
+    """One schema mutation: what happened, to which table, at which generation."""
+
+    kind: str                 # create_table / drop_table / add_column /
+                              # drop_column / rename_column / association
+    generation: int
+    table: str
+    column: str | None = None
+    detail: str | None = None  # e.g. rename target, association partner
+
+    def describe(self) -> str:
+        parts = [f"gen {self.generation}: {self.kind} {self.table}"]
+        if self.column:
+            parts.append(f".{self.column}")
+        if self.detail:
+            parts.append(f" ({self.detail})")
+        return "".join(parts)
+
+
+class SchemaJournal:
+    """A bounded log of :class:`SchemaEvent`, queryable by generation."""
+
+    def __init__(self, max_events: int = 4096):
+        self.max_events = max_events
+        self._events: deque[SchemaEvent] = deque()
+
+    def record(self, event: SchemaEvent) -> None:
+        self._events.append(event)
+        while len(self._events) > self.max_events:
+            self._events.popleft()
+
+    # ------------------------------------------------------------------
+    @property
+    def oldest_retained(self) -> int:
+        """The earliest generation the journal can still answer precisely."""
+        if not self._events:
+            return 0
+        return self._events[0].generation - 1
+
+    def events_since(self, generation: int) -> list[SchemaEvent]:
+        return [e for e in self._events if e.generation > generation]
+
+    def tables_changed_since(self, generation: int) -> set[str]:
+        """Tables touched after ``generation``.
+
+        Contains :data:`WILDCARD` when the journal has forgotten events that
+        old, which forces callers to treat everything as changed.
+        """
+        if generation < self.oldest_retained:
+            return {WILDCARD}
+        changed: set[str] = set()
+        for event in self._events:
+            if event.generation > generation:
+                changed.add(event.table)
+                if event.detail and event.kind == "association":
+                    changed.add(event.detail)
+        return changed
+
+    def columns_changed_since(self, generation: int) -> set[tuple[str, str]]:
+        """``(table, column)`` pairs touched after ``generation``.
+
+        Contains ``(WILDCARD, WILDCARD)`` when the journal has forgotten
+        events that old (same conservative semantics as
+        :meth:`tables_changed_since`).  Note that *invalidation* is
+        deliberately table-granular: adding a column changes the table's
+        whole finite-hash type, which comp code may observe even without
+        reading the new column, so column-level invalidation would be
+        unsound.  Column data exists for diagnostics and reporting.
+        """
+        if generation < self.oldest_retained:
+            return {(WILDCARD, WILDCARD)}
+        return {
+            (e.table, e.column)
+            for e in self._events
+            if e.generation > generation and e.column is not None
+        }
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def affects(deps: frozenset | set, changed: set[str]) -> bool:
+    """Whether a dependency set is hit by a set of changed tables."""
+    if not changed:
+        return False
+    if WILDCARD in changed or WILDCARD in deps:
+        return True
+    return bool(deps & changed)

@@ -136,6 +136,8 @@ def _define_instance_persistence(interp, klass: RClass, table: str) -> None:
 
 def _relation_for(interp, klass: RClass) -> RelationValue:
     table = table_name_for_class(klass.name)
+    # schema_of registers the table read with the incremental dependency
+    # tracker, so a migration of this table dirties whatever is checking
     if interp.db is None or interp.db.schema_of(table) is None:
         raise RubyError("ActiveRecordError", f"no table for model {klass.name}")
     return RelationValue(interp.db, table, model_class=klass)

@@ -71,6 +71,7 @@ def _define_model_queries(interp, model: RClass) -> None:
     for name in forward:
         def fwd(i, recv, args, block, _name=name):
             table = table_name_for_class(recv.name)
+            # schema_of registers the table read with the dependency tracker
             if i.db is None or i.db.schema_of(table) is None:
                 raise RubyError("SequelError", f"no table for model {recv.name}")
             relation = RelationValue(i.db, table, model_class=recv)
@@ -99,7 +100,7 @@ def _dispatch_sequel(interp, recv, name, args, block, line):
                 raise RubyError("SequelError", f"no such table {table!r}")
             return True, RelationValue(recv.db, table, model_class=None)
         if name == "tables":
-            return True, RArray([Sym(t) for t in recv.db.tables])
+            return True, RArray([Sym(t) for t in recv.db.all_schemas()])
         if name in ("inspect", "to_s"):
             return True, RString("#<Sequel::Database>")
         raise RubyError("NoMethodError", f"undefined method '{name}' for DB")

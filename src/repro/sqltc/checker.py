@@ -143,12 +143,14 @@ class SqlChecker:
                 raise SqlTypeError(
                     f"unknown column '{ref.column}' in table '{ref.table}'"
                 )
+            self.db.note_read(ref.table, ref.column)
             return column.kind
         for table in self.scope_tables:
             schema = self.db.schema_of(table)
             if schema is not None:
                 column = schema.column(ref.column)
                 if column is not None:
+                    self.db.note_read(table, ref.column)
                     return column.kind
         raise SqlTypeError(f"unknown column '{ref.column}'")
 

@@ -136,27 +136,49 @@ class TypeChecker:
     def check_method(self, class_name: str, method_name: str,
                      static: bool = False) -> TypeErrorReport:
         """Check one method's body against its (first) signature."""
+        desc, errors, _, _ = self.check_one(class_name, method_name, static)
+        self.report.checked_methods.append(desc)
+        self.report.errors.extend(errors)
+        return self.report
+
+    def check_one(self, class_name: str, method_name: str,
+                  static: bool = False
+                  ) -> tuple[str, list[StaticTypeError], int, int]:
+        """Check one method, returning its verdict without touching the
+        cumulative report: ``(desc, errors, casts_used, oracle_casts)``.
+
+        All schema reads and comp evaluations during the check are
+        attributed to the method via the engine's dependency tracker, which
+        is what lets the incremental scheduler dirty it precisely when the
+        schema changes.
+        """
         key = MethodKey(class_name, method_name, static)
         desc = str(key)
-        annotations = self.registry.lookup_method(class_name, method_name, static, self.interp)
-        node = self.registry.lookup_body(class_name, method_name, static, self.interp)
-        self.report.checked_methods.append(desc)
-        if annotations is None:
-            self.report.errors.append(StaticTypeError("method has no type annotation", 0, desc))
-            return self.report
-        if node is None:
-            self.report.errors.append(StaticTypeError("method has no body to check", 0, desc))
-            return self.report
-        signature = annotations[0].signature
-        if signature.is_comp():
-            # comp-typed methods are not statically checked (§2.4): they get
-            # dynamic checks at call sites instead
-            return self.report
-        try:
-            self._check_body(node, signature, class_name, static, desc)
-        except StaticTypeError as error:
-            self.report.errors.append(error)
-        return self.report
+        errors: list[StaticTypeError] = []
+        casts_before = self.report.casts_used
+        oracle_before = self.report.oracle_casts
+        with self.engine.deps.tracking(key):
+            annotations = self.registry.lookup_method(
+                class_name, method_name, static, self.interp)
+            node = self.registry.lookup_body(
+                class_name, method_name, static, self.interp)
+            if annotations is None:
+                errors.append(
+                    StaticTypeError("method has no type annotation", 0, desc))
+            elif node is None:
+                errors.append(
+                    StaticTypeError("method has no body to check", 0, desc))
+            elif not annotations[0].signature.is_comp():
+                # comp-typed methods are not statically checked (§2.4): they
+                # get dynamic checks at call sites instead
+                try:
+                    self._check_body(node, annotations[0].signature,
+                                     class_name, static, desc)
+                except StaticTypeError as error:
+                    errors.append(error)
+        return (desc, errors,
+                self.report.casts_used - casts_before,
+                self.report.oracle_casts - oracle_before)
 
     # ------------------------------------------------------------------
     # body checking

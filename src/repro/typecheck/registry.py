@@ -74,6 +74,18 @@ class AnnotationRegistry:
         # annotation accounting for Table 1
         self.comp_annotation_count: dict[str, int] = {}
         self.helper_methods: set[str] = set()
+        # ``listener(key)`` fires when a method is (re)defined or gains an
+        # annotation — the incremental scheduler uses it to dirty verdicts
+        # that a ``load`` invalidated without any schema change
+        self.method_listeners: list = []
+
+    def add_method_listener(self, listener) -> None:
+        if listener not in self.method_listeners:
+            self.method_listeners.append(listener)
+
+    def _notify_method_changed(self, key: MethodKey) -> None:
+        for listener in self.method_listeners:
+            listener(key)
 
     # ------------------------------------------------------------------
     # directive handlers (called from native methods)
@@ -173,6 +185,7 @@ class AnnotationRegistry:
             self.comp_annotation_count[key.class_name] = (
                 self.comp_annotation_count.get(key.class_name, 0) + 1
             )
+        self._notify_method_changed(key)
 
     def annotate(
         self,
@@ -200,6 +213,7 @@ class AnnotationRegistry:
         self.defined_methods[key] = node
         for annotation in self.pending.pop(class_name, []):
             self.add_annotation(key, annotation)
+        self._notify_method_changed(key)
 
     def note_class(self, name: str, superclass: str) -> None:
         self.class_parents.setdefault(name, superclass)
