@@ -18,12 +18,17 @@ pytest (``pytest benchmarks/bench_incremental.py``).
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 from repro.apps import all_apps
 
-ROUNDS = 3
+# BENCH_QUICK=1 (the CI smoke mode) trims the migration rounds
+ROUNDS = 1 if os.environ.get("BENCH_QUICK") else 3
 COLUMN = "bench_migrated_col"
+#: BENCH_JSON=path writes the measured rows for the CI artifact
+JSON_ENV = "BENCH_JSON"
 
 
 def _median_table(rdl) -> str | None:
@@ -126,7 +131,30 @@ def main() -> int:
         for line in row["stats"].summary().splitlines():
             print(f"    {line}")
 
+    json_path = os.environ.get(JSON_ENV)
+    if json_path:
+        payload = {
+            "benchmark": "incremental_recheck",
+            "rounds": ROUNDS,
+            "overall_speedup": overall,
+            "apps": [
+                {k: v for k, v in row.items() if k != "stats"}
+                for row in rows
+            ],
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"results written to {json_path}")
+
     if overall < 2.0:
+        if os.environ.get("BENCH_QUICK"):
+            # CI smoke mode records the numbers but never gates the build
+            # on a machine-dependent timing threshold (parity still gates:
+            # the bench_app asserts above already ran)
+            print(f"NOTE: {overall:.2f}x (< 2x) — recorded, not gated in "
+                  f"quick mode")
+            return 0
         print(f"FAIL: expected >= 2x speedup, got {overall:.2f}x")
         return 1
     print(f"PASS: re-check after a one-column migration is "

@@ -7,6 +7,7 @@ interpreter, so we assert the same order of magnitude rather than the
 exact figure).
 """
 
+import os
 import time
 
 import pytest
@@ -55,4 +56,8 @@ def test_aggregate_overhead_is_small():
             rdl.run(app.test_suite, checks=True)
         w_chk += time.perf_counter() - start
     overhead = (w_chk / no_chk) - 1
+    if os.environ.get("BENCH_QUICK"):
+        # CI smoke mode records but never gates on machine-dependent timing
+        print(f"dynamic check overhead {overhead:+.1%} (not gated in quick mode)")
+        return
     assert overhead < 0.35, f"dynamic check overhead {overhead:+.1%}"

@@ -6,6 +6,8 @@ collects its own statistics).  Assertions pin the qualitative results:
 errors found and comp-mode cast counts.
 """
 
+import os
+
 import pytest
 
 from repro.apps import all_apps
@@ -40,4 +42,8 @@ def test_total_checking_is_fast():
         total_methods += len(report.checked_methods)
     elapsed = time.perf_counter() - start
     assert total_methods >= 100
+    if os.environ.get("BENCH_QUICK"):
+        # CI smoke mode records but never gates on machine-dependent timing
+        print(f"checking took {elapsed:.1f}s (not gated in quick mode)")
+        return
     assert elapsed < 30, f"checking took {elapsed:.1f}s"

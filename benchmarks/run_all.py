@@ -1,0 +1,93 @@
+"""Run every ``benchmarks/bench_*.py`` in quick mode, collecting JSON.
+
+The CI smoke step: each benchmark runs with small iteration counts so a PR
+sees *that* the benchmarks still run and roughly *what* they measure, and
+the per-benchmark JSON lands in an artifact directory for regression
+tracking.  Two benchmark styles are dispatched automatically:
+
+* **script benchmarks** (``bench_incremental``, ``bench_parallel``) have a
+  ``main()`` and quick/JSON switches of their own;
+* **pytest benchmarks** (everything else) run under pytest with
+  pytest-benchmark forced to one warm-up-free round, writing its own
+  ``--benchmark-json``.
+
+Usage: ``PYTHONPATH=src python benchmarks/run_all.py [--out DIR]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _run(cmd: list[str], env: dict) -> tuple[int, str]:
+    proc = subprocess.run(
+        cmd, env=env, cwd=os.path.dirname(HERE),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+def main() -> int:
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument("--out", default=os.path.join(HERE, "..", "bench-artifacts"),
+                     help="artifact directory for JSON results and logs")
+    options = cli.parse_args()
+    out = os.path.abspath(options.out)
+    os.makedirs(out, exist_ok=True)
+
+    env = dict(os.environ)
+    env["BENCH_QUICK"] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [os.path.join(os.path.dirname(HERE), "src"),
+                    env.get("PYTHONPATH")] if p)
+
+    statuses: dict[str, str] = {}
+    failed = False
+    for path in sorted(glob.glob(os.path.join(HERE, "bench_*.py"))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        json_path = os.path.join(out, f"{name}.json")
+        if name == "bench_parallel":
+            cmd = [sys.executable, path, "--quick", "--json", json_path]
+        elif name == "bench_incremental":
+            env_one = dict(env, BENCH_JSON=json_path)
+            code, output = _run([sys.executable, path], env_one)
+            _finish(out, name, code, output, statuses)
+            failed |= code != 0
+            continue
+        else:
+            cmd = [
+                sys.executable, "-m", "pytest", path, "-q", "-p", "no:cacheprovider",
+                "--benchmark-min-rounds=1", "--benchmark-warmup=off",
+                "--benchmark-max-time=0.05", f"--benchmark-json={json_path}",
+            ]
+        code, output = _run(cmd, env)
+        _finish(out, name, code, output, statuses)
+        failed |= code != 0
+
+    summary_path = os.path.join(out, "summary.json")
+    with open(summary_path, "w") as handle:
+        json.dump({"quick_mode": True, "benchmarks": statuses}, handle, indent=2)
+        handle.write("\n")
+    print(f"\nsummary written to {summary_path}")
+    for name, status in statuses.items():
+        print(f"  {name}: {status}")
+    return 1 if failed else 0
+
+
+def _finish(out: str, name: str, code: int, output: str,
+            statuses: dict[str, str]) -> None:
+    statuses[name] = "ok" if code == 0 else f"FAILED (exit {code})"
+    log_path = os.path.join(out, f"{name}.log")
+    with open(log_path, "w") as handle:
+        handle.write(output)
+    print(f"=== {name}: {statuses[name]}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

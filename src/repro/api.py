@@ -65,11 +65,24 @@ class CompRDL:
         self.checker = TypeChecker(self.interp, self.registry, self.config)
         self.incremental = IncrementalScheduler(self.checker, self.registry,
                                                 self.db)
+        # methods (re)defined or annotated after the last `mark_pristine()`:
+        # a fresh rebuild of this universe would not see them, so the
+        # parallel cold check keeps them in-process (see check_all)
+        self.post_build_methods: set = set()
+        self.registry.add_method_listener(self.post_build_methods.add)
 
     # ------------------------------------------------------------------
     def load(self, source: str):
         """Execute a mini-Ruby program (defining classes and annotations)."""
         return self.interp.run(source)
+
+    def mark_pristine(self) -> None:
+        """Declare the current state reproducible from scratch: everything
+        loaded so far is part of this universe's canonical build recipe
+        (``SubjectApp.build`` calls this after loading the app source).
+        Methods loaded *afterwards* diverge from a fresh rebuild, which the
+        parallel cold check uses to keep them in-process."""
+        self.post_build_methods.clear()
 
     def check(self, label: str) -> TypeErrorReport:
         """Type check every method annotated ``typecheck: :label``."""
@@ -89,14 +102,27 @@ class CompRDL:
     # ------------------------------------------------------------------
     # incremental checking (schema-versioned memoization + dirty tracking)
     # ------------------------------------------------------------------
-    def check_all(self, labels) -> TypeErrorReport:
+    def check_all(self, labels, workers: int = 1) -> TypeErrorReport:
         """Batch-check one or more labels through the incremental engine.
 
         The first call verifies everything; subsequent calls (including
         after schema migrations) reuse every verdict whose recorded
         dependencies are untouched and re-check only the rest.
+
+        With ``workers > 1`` the methods are sharded across that many
+        spawn-mode worker processes (a *parallel cold check*): each worker
+        rebuilds the pristine subject app for its labels, so every label
+        must name a :mod:`repro.apps` subject app.  The merged report is
+        verdict-for-verdict identical to a serial run, worker-recorded
+        dependencies are fed back into the incremental engine, and any
+        schema change this universe made since its build conservatively
+        re-dirties the methods it could affect.
         """
-        return self.incremental.check_all(labels)
+        if workers <= 1:
+            return self.incremental.check_all(labels)
+        from repro.parallel import check_universe_parallel
+
+        return check_universe_parallel(self, labels, workers)
 
     def recheck_dirty(self) -> TypeErrorReport:
         """Re-verify only methods dirtied by schema changes since the last

@@ -22,5 +22,20 @@ def all_apps() -> list[SubjectApp]:
     return [WIKIPEDIA, TWITTER, DISCOURSE, HUGINN, CODEORG, JOURNEY]
 
 
-__all__ = ["SubjectApp", "all_apps", "WIKIPEDIA", "TWITTER", "DISCOURSE",
-           "HUGINN", "CODEORG", "JOURNEY"]
+def app_for_label(label: str) -> SubjectApp:
+    """Resolve a ``typecheck:`` label to its subject app.
+
+    The parallel worker protocol rebuilds apps from labels, so every
+    shardable label must resolve here.
+    """
+    label = label.lstrip(":")
+    for app in all_apps():
+        if app.label == label:
+            return app
+    known = ", ".join(app.label for app in all_apps())
+    raise KeyError(
+        f"no subject app is labelled {label!r} (known labels: {known})")
+
+
+__all__ = ["SubjectApp", "all_apps", "app_for_label", "WIKIPEDIA", "TWITTER",
+           "DISCOURSE", "HUGINN", "CODEORG", "JOURNEY"]

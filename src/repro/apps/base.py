@@ -33,6 +33,7 @@ class SubjectApp:
         rdl = CompRDL(db=db, **kwargs)
         install_json(rdl.interp)
         rdl.load(self.source)
+        rdl.mark_pristine()  # everything above is reproducible from scratch
         return rdl
 
     def source_loc(self) -> int:

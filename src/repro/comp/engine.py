@@ -52,6 +52,17 @@ class CompEngine:
         db = getattr(interp, "db", None)
         if db is not None and hasattr(db, "add_read_listener"):
             db.add_read_listener(self.deps.note_table)
+        if hasattr(registry, "add_method_listener"):
+            registry.add_method_listener(self._on_method_change)
+
+    def _on_method_change(self, key) -> None:
+        """A ``load`` (re)defined a method: it may be a type-level helper
+        that cached comp results silently embed, and the cache is keyed
+        only on (code, bindings, schema generation) — so drop everything.
+        Loads after checking are rare; the cache re-fills on the next pass.
+        (The parsed-AST cache survives: comp *code* text didn't change.)"""
+        if len(self.cache):
+            self.cache.clear()
 
     # ------------------------------------------------------------------
     @property
@@ -64,11 +75,16 @@ class CompEngine:
         db = getattr(self.interp, "db", None)
         return getattr(db, "journal", None)
 
-    def _diag(self, message: str) -> str:
-        """Tag comp-evaluation failures with the cache/schema generation so
-        stale-cache bugs are diagnosable from the error text alone."""
-        return (f"{message} [schema gen {self.generation}, "
-                f"comp cache {len(self.cache)} entries]")
+    def _comp_error(self, message: str, line: int, context: str) -> StaticTypeError:
+        """A comp-evaluation failure.  The message carries only
+        deterministic content: it is part of the verdict, and verdicts must
+        be identical across serial, incremental, and parallel runs — which
+        rules out run-history context like the schema generation or cache
+        population at computation time.  The generation is attached as a
+        ``schema_generation`` attribute for in-process diagnostics."""
+        error = StaticTypeError(message, line, context)
+        error.schema_generation = self.generation
+        return error
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -102,10 +118,8 @@ class CompEngine:
             try:
                 program = parse_program(comp.code)
             except Exception as exc:
-                raise StaticTypeError(
-                    self._diag(f"comp type does not parse: {exc}"),
-                    line, context,
-                )
+                raise self._comp_error(
+                    f"comp type does not parse: {exc}", line, context)
             self.termination.check_comp_code(program, comp.code)
             self.asts.store(comp.code, program)
 
@@ -117,25 +131,18 @@ class CompEngine:
             try:
                 result = self.interp.eval_body(program.body, frame)
             except RaiseSignal as sig:
-                raise StaticTypeError(
-                    self._diag(
-                        f"comp type evaluation raised {sig.exc.rclass.name}: "
-                        f"{sig.exc.message}"),
-                    line, context,
-                )
+                raise self._comp_error(
+                    f"comp type evaluation raised {sig.exc.rclass.name}: "
+                    f"{sig.exc.message}", line, context)
             except RubyError as exc:
-                raise StaticTypeError(
-                    self._diag(f"comp type evaluation failed: {exc}"),
-                    line, context,
-                )
+                raise self._comp_error(
+                    f"comp type evaluation failed: {exc}", line, context)
             try:
                 value = to_rtype(self.interp, result)
             except RubyError:
-                raise StaticTypeError(
-                    self._diag(
-                        f"comp type did not evaluate to a type (got {result!r})"),
-                    line, context,
-                )
+                raise self._comp_error(
+                    f"comp type did not evaluate to a type (got {result!r})",
+                    line, context)
         self.cache.store(comp.code, bkey, generation, scope.tables, value)
         # the first caller must not alias the cache entry either: weak
         # updates widen types in place, which would pollute later hits

@@ -131,6 +131,27 @@ class Database:
         }
         self._mutated("drop_table", table)
 
+    def rename_table(self, table: str, new_name: str) -> None:
+        """Rename a whole table (migration), preserving rows, id counters,
+        and associations.  Dependents of the old name are invalidated: the
+        journal event carries the new name as its detail, so both names
+        count as changed."""
+        if table not in self.tables:
+            raise KeyError(f"no such table {table!r}")
+        if new_name in self.tables:
+            raise KeyError(
+                f"cannot rename {table!r} to {new_name!r}: table exists")
+        schema = self.tables.pop(table)
+        schema.name = new_name
+        self.tables[new_name] = schema
+        self.rows[new_name] = self.rows.pop(table, [])
+        self._next_ids[new_name] = self._next_ids.pop(table, 1)
+        self.associations = {
+            tuple(new_name if name == table else name for name in pair)
+            for pair in self.associations
+        }
+        self._mutated("rename_table", table, detail=new_name)
+
     def drop_column(self, table: str, column: str) -> None:
         """Remove a column (used to exercise comp-type consistency checks)."""
         schema = self.tables[table]

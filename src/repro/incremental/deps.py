@@ -112,6 +112,11 @@ class DependencyTracker:
     def deps_of(self, key) -> MethodDeps | None:
         return self.method_deps.get(key)
 
+    def adopt(self, key, deps: MethodDeps) -> None:
+        """Install a dependency set computed elsewhere — a parallel worker
+        tracked it in its own universe and shipped it back with the verdict."""
+        self.method_deps[key] = deps
+
     def dependents_of_table(self, table: str) -> set:
         return {
             key for key, deps in self.method_deps.items()

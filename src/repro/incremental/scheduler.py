@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.incremental.versioning import SchemaEvent
+from repro.incremental.versioning import TWO_TABLE_KINDS, SchemaEvent
 from repro.typecheck.errors import StaticTypeError, TypeErrorReport
 
 
@@ -51,7 +51,9 @@ class IncrementalScheduler:
     # ------------------------------------------------------------------
     def on_schema_change(self, event: SchemaEvent) -> None:
         changed = {event.table}
-        if event.detail and event.kind == "association":
+        # associations and table renames touch a second table (the partner /
+        # the new name); dependents of either must be dirtied
+        if event.detail and event.kind in TWO_TABLE_KINDS:
             changed.add(event.detail)
         affected = self.tracker.methods_affected_by(changed) & set(self.results)
         fresh = affected - self.dirty
@@ -85,17 +87,20 @@ class IncrementalScheduler:
         for label in labels:
             if label not in self.labels:
                 self.labels.append(label)
-        report = TypeErrorReport()
-        for key in self._keys_for(labels):
-            self._ensure(key, report)
-        return report
+        return self.resolve(self._keys_for(labels))
 
     def recheck_dirty(self) -> TypeErrorReport:
         """Re-verify only dirty methods; the report still covers every
-        method previously checked, verdict-for-verdict equal to a full
+        label previously checked, verdict-for-verdict equal to a full
         re-check."""
+        return self.resolve(self._keys_for(self.labels))
+
+    def resolve(self, keys) -> TypeErrorReport:
+        """A report covering ``keys`` in order: dirty or never-checked
+        methods are (re)verified against the live universe, clean cached
+        verdicts are reused as-is."""
         report = TypeErrorReport()
-        for key in self._keys_for(self.labels):
+        for key in keys:
             self._ensure(key, report)
         return report
 
@@ -110,11 +115,6 @@ class IncrementalScheduler:
                 if key not in seen:
                     seen.add(key)
                     keys.append(key)
-        # methods checked outside any label (direct check_method calls)
-        for key in self.results:
-            if key not in seen:
-                seen.add(key)
-                keys.append(key)
         return keys
 
     def _ensure(self, key, report: TypeErrorReport) -> None:

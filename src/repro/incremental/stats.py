@@ -29,6 +29,13 @@ class IncrementalStats:
     methods_skipped: int = 0      # clean cached verdict reused
     methods_dirtied: int = 0      # marked dirty by schema changes
     schema_events: int = 0
+    # parallel fleet accounting
+    methods_checked_parallel: int = 0  # verdicts computed by worker processes
+    parallel_shards: int = 0
+    parallel_rounds: int = 0
+    # observed per-method check wall time (desc -> seconds, last observation);
+    # the shard planner's cost model reads this
+    method_costs: dict = field(default_factory=dict)
 
     extra: dict = field(default_factory=dict)
 
@@ -53,6 +60,13 @@ class IncrementalStats:
         return self.methods_skipped / total if total else 0.0
 
     def summary(self) -> str:
+        parallel = ""
+        if self.parallel_rounds:
+            parallel = (
+                f"\nparallel: {self.methods_checked_parallel} verdicts from "
+                f"{self.parallel_shards} shards over "
+                f"{self.parallel_rounds} rounds"
+            )
         return (
             f"comp cache: {self.comp_hits} hits / {self.comp_misses} misses "
             f"({self.comp_hit_rate:.1%} hit rate), "
@@ -65,6 +79,7 @@ class IncrementalStats:
             f"{self.methods_skipped} reused ({self.method_reuse_rate:.1%}), "
             f"{self.methods_dirtied} dirtied across "
             f"{self.schema_events} schema events"
+            f"{parallel}"
         )
 
     def reset(self) -> None:
@@ -72,7 +87,9 @@ class IncrementalStats:
             "comp_hits", "comp_misses", "comp_revalidations",
             "comp_invalidations", "comp_evictions", "ast_hits", "ast_misses",
             "methods_checked", "methods_skipped", "methods_dirtied",
-            "schema_events",
+            "schema_events", "methods_checked_parallel", "parallel_shards",
+            "parallel_rounds",
         ):
             setattr(self, name, 0)
+        self.method_costs.clear()
         self.extra.clear()

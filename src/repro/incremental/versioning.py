@@ -20,13 +20,20 @@ from dataclasses import dataclass
 #: or reverse lookups over every table).  Any schema change invalidates it.
 WILDCARD = "*"
 
+#: event kinds whose ``detail`` names a second affected table: an
+#: association's partner, or a rename's new name (dependents of either
+#: name must be invalidated).  Shared with the scheduler's dirty marking —
+#: both views of "what changed" must agree or verdicts go stale.
+TWO_TABLE_KINDS = ("association", "rename_table")
+
 
 @dataclass(frozen=True)
 class SchemaEvent:
     """One schema mutation: what happened, to which table, at which generation."""
 
-    kind: str                 # create_table / drop_table / add_column /
-                              # drop_column / rename_column / association
+    kind: str                 # create_table / drop_table / rename_table /
+                              # add_column / drop_column / rename_column /
+                              # association
     generation: int
     table: str
     column: str | None = None
@@ -76,7 +83,7 @@ class SchemaJournal:
         for event in self._events:
             if event.generation > generation:
                 changed.add(event.table)
-                if event.detail and event.kind == "association":
+                if event.detail and event.kind in TWO_TABLE_KINDS:
                     changed.add(event.detail)
         return changed
 

@@ -1,0 +1,52 @@
+"""Parallel sharded checking: planner → spawn workers → verdict-parity merge.
+
+The fleet partitions the methods of one or more subject-app labels into
+cost-balanced shards (:mod:`repro.parallel.planner`), checks each shard in a
+spawn-mode worker process that rebuilds its apps from the label
+(:mod:`repro.parallel.worker`), and deterministically folds the picklable
+verdicts back into a single report that is verdict-for-verdict identical to
+a serial run, back-feeding dependency footprints into the incremental
+engine (:mod:`repro.parallel.merge`).
+
+Use :class:`ParallelCheckEngine` for a persistent fleet,
+:func:`check_fleet` for one-shot checks, or
+``CompRDL.check_all(labels, workers=N)`` to parallel-check one universe.
+"""
+
+from repro.parallel.engine import (
+    ParallelCheckEngine,
+    ParallelRun,
+    check_fleet,
+    check_universe_parallel,
+    specs_for_labels,
+)
+from repro.parallel.merge import (
+    ShardGapError,
+    feed_incremental,
+    merge_report,
+)
+from repro.parallel.planner import Shard, method_cost, plan_shards
+from repro.parallel.protocol import (
+    MethodSpec,
+    MethodVerdict,
+    ShardResult,
+    ShardTask,
+)
+
+__all__ = [
+    "MethodSpec",
+    "MethodVerdict",
+    "ParallelCheckEngine",
+    "ParallelRun",
+    "Shard",
+    "ShardGapError",
+    "ShardResult",
+    "ShardTask",
+    "check_fleet",
+    "check_universe_parallel",
+    "feed_incremental",
+    "merge_report",
+    "method_cost",
+    "plan_shards",
+    "specs_for_labels",
+]

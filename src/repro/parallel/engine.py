@@ -1,0 +1,286 @@
+"""The parallel checking fleet: pool management and orchestration.
+
+Two entry points share the planner/worker/merge machinery:
+
+* :class:`ParallelCheckEngine` — a persistent fleet for checking one or
+  more subject-app labels across spawn workers, keeping the worker pool
+  warm between rounds (a cold check of the combined apps is one round; a
+  long-lived checking service runs many).  Observed per-method and
+  per-app-build costs flow back into the engine's stats after every round,
+  so later plans balance on measurements instead of heuristics.
+* :func:`check_universe_parallel` — the ``CompRDL.check_all(labels,
+  workers=N)`` backend: shards *this universe's* methods, fans out, and
+  back-feeds the universe's incremental scheduler so ``recheck_dirty()``
+  behaves exactly as after a serial cold check.  Schema mutations the
+  parent made after its build are replayed conservatively: any method
+  whose footprint touches a table changed since the worker's (pristine)
+  generation is re-marked dirty.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.incremental.stats import IncrementalStats
+from repro.parallel import worker as worker_mod
+from repro.parallel.merge import feed_incremental, merge_report
+from repro.parallel.planner import Shard, plan_shards
+from repro.parallel.protocol import MethodSpec, ShardResult, ShardTask
+from repro.typecheck.errors import TypeErrorReport
+
+
+@dataclass
+class ParallelRun:
+    """One fleet round: the merged report plus scheduling diagnostics."""
+
+    report: TypeErrorReport
+    shards: list[Shard] = field(default_factory=list)
+    results: list[ShardResult] = field(default_factory=list)
+    wall_s: float = 0.0          # parent-observed wall time for the round
+    plan_s: float = 0.0          # time spent planning + merging (serial part)
+    critical_path_s: float = 0.0  # max worker CPU time: projected wall on
+                                  # a machine with >= workers free cores
+
+    @property
+    def worker_cpu_s(self) -> float:
+        return sum(result.cpu_s for result in self.results)
+
+
+def specs_for_labels(labels, registry_for_label) -> list[MethodSpec]:
+    """The serial-order method list for ``labels`` (registry order per
+    label).  Dedup is by *method key*, matching the serial scheduler: a
+    method annotated under several requested labels is checked once, under
+    the first label that names it."""
+    specs: list[MethodSpec] = []
+    seen: set = set()
+    for label in labels:
+        registry = registry_for_label(label)
+        for key in registry.methods_for_label(label):
+            if key not in seen:
+                seen.add(key)
+                specs.append(MethodSpec(
+                    label, key.class_name, key.method_name, key.static))
+    return specs
+
+
+def _normalize_labels(labels) -> list[str]:
+    if isinstance(labels, str):
+        labels = [labels]
+    return [label.lstrip(":") for label in labels]
+
+
+class ParallelCheckEngine:
+    """A persistent multi-process checking fleet over subject-app labels."""
+
+    def __init__(self, workers: int | None = None, stats: IncrementalStats | None = None):
+        self.workers = max(1, workers or os.cpu_count() or 1)
+        self.stats = stats or IncrementalStats()
+        self.build_costs: dict[str, float] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._catalog: dict[str, object] = {}  # label -> CompRDL (enumeration)
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._pool
+
+    def warm_up(self) -> float:
+        """Spin up every worker (interpreter start + repro imports) now, so
+        checking rounds measure checking.  Returns the warm-up wall time."""
+        start = time.perf_counter()
+        list(self.pool().map(worker_mod.warm_up, range(self.workers)))
+        return time.perf_counter() - start
+
+    def prime(self, labels) -> float:
+        """One-time fleet set-up for ``labels``: build the parent-side
+        catalog universes (method enumeration + serial order) and warm every
+        worker.  Returns the set-up wall time; after this, ``check_labels``
+        rounds measure steady-state checking only."""
+        start = time.perf_counter()
+        for label in _normalize_labels(labels):
+            self._catalog_universe(label)
+        self.warm_up()
+        return time.perf_counter() - start
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelCheckEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def _registry_for_label(self, label: str):
+        return self._catalog_universe(label).registry
+
+    def _catalog_universe(self, label: str):
+        """A parent-side build of the label's app, cached: the source of the
+        serial method order and of the heuristic cost model's AST bodies."""
+        from repro.apps import app_for_label
+
+        universe = self._catalog.get(label)
+        if universe is None:
+            build_start = time.perf_counter()
+            universe = app_for_label(label).build()
+            self.build_costs.setdefault(
+                label, time.perf_counter() - build_start)
+            self._catalog[label] = universe
+        return universe
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+    def check_labels(self, labels) -> ParallelRun:
+        """One cold fleet check of ``labels`` across the worker pool."""
+        labels = _normalize_labels(labels)
+        round_start = time.perf_counter()
+        plan_start = time.perf_counter()
+        specs = specs_for_labels(labels, self._registry_for_label)
+        shards = plan_shards(
+            specs,
+            self.workers,
+            registry_for_label=self._registry_for_label,
+            stats=self.stats,
+            build_costs=self.build_costs,
+        )
+        plan_s = time.perf_counter() - plan_start
+
+        results = self._run_shards(shards)
+
+        merge_start = time.perf_counter()
+        report = merge_report(specs, results)
+        plan_s += time.perf_counter() - merge_start
+        self._absorb_costs(results)
+        run = ParallelRun(
+            report=report,
+            shards=shards,
+            results=results,
+            wall_s=time.perf_counter() - round_start,
+            plan_s=plan_s,
+            critical_path_s=max((r.cpu_s for r in results), default=0.0),
+        )
+        self.stats.parallel_rounds += 1
+        return run
+
+    def _run_shards(self, shards: list[Shard]) -> list[ShardResult]:
+        tasks = [
+            ShardTask(shard_id=shard.index, specs=tuple(shard.specs))
+            for shard in shards
+        ]
+        if self.workers == 1 or len(tasks) <= 1:
+            # degenerate fleet: run in-process, same protocol
+            return [worker_mod.run_shard(task) for task in tasks]
+        futures = [self.pool().submit(worker_mod.run_shard, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def _absorb_costs(self, results: list[ShardResult]) -> None:
+        """Feed observed costs back into the planner's model."""
+        for result in results:
+            for label, build_s in result.build_s.items():
+                self.build_costs[label] = build_s
+            for verdict in result.verdicts:
+                self.stats.method_costs[verdict.desc] = verdict.cost_s
+            self.stats.parallel_shards += 1
+            self.stats.methods_checked_parallel += len(result.verdicts)
+
+
+def check_fleet(labels, workers: int) -> ParallelRun:
+    """One-shot convenience: spin a fleet up, check, tear it down."""
+    with ParallelCheckEngine(workers=workers) as engine:
+        return engine.check_labels(labels)
+
+
+# ---------------------------------------------------------------------------
+# CompRDL.check_all(labels, workers=N) backend
+# ---------------------------------------------------------------------------
+
+def check_universe_parallel(rdl, labels, workers: int) -> TypeErrorReport:
+    """Shard this universe's labelled methods across a worker fleet.
+
+    Workers rebuild each label's subject app *pristine* (a cold check), so
+    delegation is only sound while this universe is reproducible from that
+    build.  Schema mutations are attributable — the journal knows which
+    tables changed, so affected methods are re-resolved in-process below —
+    but a method (re)defined after ``mark_pristine()`` may be a type-level
+    helper whose new behaviour silently changes *any other* method's
+    verdict, which no dependency footprint can bound.  In that case the
+    whole check falls back to the serial incremental path: correct verdicts
+    beat parallel wrong ones.
+    """
+    from repro.apps import app_for_label
+
+    labels = _normalize_labels(labels)
+    for label in labels:
+        app_for_label(label)  # raises KeyError early for unknown labels
+
+    if getattr(rdl, "post_build_methods", None):
+        return rdl.incremental.check_all(labels)
+
+    scheduler = rdl.incremental
+    specs = specs_for_labels(labels, lambda _label: rdl.registry)
+    if not specs:
+        return TypeErrorReport()
+
+    shards = plan_shards(
+        specs,
+        workers,
+        registry_for_label=lambda _label: rdl.registry,
+        stats=scheduler.stats,
+        build_costs=None,
+    )
+    tasks = [
+        ShardTask(shard_id=shard.index, specs=tuple(shard.specs))
+        for shard in shards
+    ]
+    results: list[ShardResult] = []
+    if tasks:
+        with ProcessPoolExecutor(
+            max_workers=max(1, workers),
+            mp_context=multiprocessing.get_context("spawn"),
+        ) as pool:
+            results = [r for r in pool.map(worker_mod.run_shard, tasks)]
+
+    report = merge_report(specs, results)
+    feed_incremental(scheduler, results, generation=rdl.db.version)
+    scheduler.stats.parallel_rounds += 1
+    for label in labels:
+        if label not in scheduler.labels:
+            scheduler.labels.append(label)
+
+    # the parent may have migrated its schema since build: workers saw the
+    # pristine apps, so re-dirty anything those later generations could have
+    # touched — and then *resolve* the dirty methods against the live
+    # universe so the returned report matches a serial run of this universe,
+    # not the pristine one
+    worker_generations = [
+        version
+        for result in results
+        for version in result.db_versions.values()
+    ]
+    if worker_generations:
+        oldest = min(worker_generations)
+        changed = rdl.db.journal.tables_changed_since(oldest)
+        if changed:
+            affected = scheduler.tracker.methods_affected_by(changed) \
+                & set(scheduler.results)
+            scheduler.dirty |= affected
+    spec_keys = [spec.key() for spec in specs]
+    if any(key in scheduler.dirty for key in spec_keys):
+        report = scheduler.resolve(spec_keys)
+    return report

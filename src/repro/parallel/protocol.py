@@ -1,0 +1,95 @@
+"""Picklable messages exchanged between the planner and worker processes.
+
+Workers run in spawn-mode child processes, so everything crossing the
+boundary must round-trip through pickle *and* reconstruct faithfully:
+errors travel as plain ``(kind, message, line, method)`` tuples rather than
+exception instances because :class:`StaticTypeError`'s constructor formats
+its arguments (re-pickling the instance would re-format an already-formatted
+message and lose the structured ``line``/``method`` fields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.incremental.deps import MethodDeps
+from repro.typecheck.errors import StaticTypeError, TerminationError
+from repro.typecheck.registry import MethodKey
+
+#: error-kind tags for the wire format
+_ERROR_KINDS = {
+    "static": StaticTypeError,
+    "termination": TerminationError,
+}
+
+
+def encode_error(error: StaticTypeError) -> tuple[str, str, int, str]:
+    kind = "termination" if isinstance(error, TerminationError) else "static"
+    return (kind, error.message, error.line, error.method)
+
+
+def decode_error(record: tuple[str, str, int, str]) -> StaticTypeError:
+    kind, message, line, method = record
+    return _ERROR_KINDS.get(kind, StaticTypeError)(message, line, method)
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One unit of checkable work: a method of a labelled subject app."""
+
+    label: str
+    class_name: str
+    method_name: str
+    static: bool = False
+
+    def key(self) -> MethodKey:
+        return MethodKey(self.class_name, self.method_name, self.static)
+
+    @property
+    def desc(self) -> str:
+        return str(self.key())
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker assignment: an ordered slice of the fleet's methods."""
+
+    shard_id: int
+    specs: tuple[MethodSpec, ...]
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for spec in self.specs:
+            if spec.label not in seen:
+                seen.append(spec.label)
+        return tuple(seen)
+
+
+@dataclass
+class MethodVerdict:
+    """One method's result, exactly what the serial checker would record."""
+
+    spec: MethodSpec
+    desc: str
+    errors: list[tuple[str, str, int, str]] = field(default_factory=list)
+    casts_used: int = 0
+    oracle_casts: int = 0
+    deps: MethodDeps | None = None
+    cost_s: float = 0.0
+
+    def rebuild_errors(self) -> list[StaticTypeError]:
+        return [decode_error(record) for record in self.errors]
+
+
+@dataclass
+class ShardResult:
+    """Everything a worker sends back for one shard."""
+
+    shard_id: int
+    verdicts: list[MethodVerdict] = field(default_factory=list)
+    build_s: dict[str, float] = field(default_factory=dict)   # label -> seconds
+    db_versions: dict[str, int] = field(default_factory=dict)  # label -> generation
+    check_s: float = 0.0      # wall time spent checking (worker-side)
+    cpu_s: float = 0.0        # process CPU time for the whole shard
+    pid: int = 0

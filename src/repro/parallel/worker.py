@@ -1,0 +1,84 @@
+"""The worker side of the parallel checking protocol.
+
+Runs inside a spawn-mode child process (every function here must be
+importable from a fresh interpreter — no closures, no inherited state).
+A worker receives a :class:`ShardTask`, rebuilds each subject app named by
+the shard's labels from scratch (the cold-check contract: workers verify
+pristine universes, exactly what a serial cold check of the same app sees),
+runs ``TypeChecker.check_one`` for every method in shard order, and ships
+back picklable verdicts together with the dependency footprints the checker
+recorded — so the parent can back-feed its incremental dependency graph.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.parallel.protocol import (
+    MethodVerdict,
+    ShardResult,
+    ShardTask,
+    encode_error,
+)
+
+
+def warm_up(token: int = 0) -> int:
+    """Force the child to import and exercise the full checking stack (one
+    throwaway app build + check), so the first real shard measures checking
+    rather than one-time module-import and code-warm-up latency."""
+    from repro.apps import all_apps
+
+    app = min(all_apps(), key=lambda a: a.source_loc())
+    rdl = app.build()
+    rdl.check(app.label)
+    # linger briefly: the pool feeds tasks from one shared queue, and
+    # without overlap a fast first worker could swallow several warm-up
+    # tokens while its siblings are still spawning (leaving them cold)
+    time.sleep(0.2)
+    return token
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Check one shard and return its verdicts (the spawn entry point)."""
+    from repro.apps import app_for_label
+
+    result = ShardResult(shard_id=task.shard_id, pid=os.getpid())
+    universes: dict[str, object] = {}
+
+    def resolve(label: str):
+        rdl = universes.get(label)
+        if rdl is None:
+            build_start = time.perf_counter()
+            rdl = app_for_label(label).build()
+            result.build_s[label] = time.perf_counter() - build_start
+            result.db_versions[label] = rdl.db.version
+            universes[label] = rdl
+        return rdl
+
+    check_specs_into(result, resolve, task.specs)
+    return result
+
+
+def check_specs_into(result: ShardResult, resolve, specs) -> None:
+    """Check ``specs`` in order, appending verdicts to ``result``;
+    ``resolve(label)`` supplies the universe to check against.  This loop
+    is the single place the verdict wire format is produced."""
+    cpu_start = time.process_time()
+    for spec in specs:
+        rdl = resolve(spec.label)
+        check_start = time.perf_counter()
+        desc, errors, casts, oracle = rdl.checker.check_one(
+            spec.class_name, spec.method_name, spec.static)
+        cost = time.perf_counter() - check_start
+        result.check_s += cost
+        result.verdicts.append(MethodVerdict(
+            spec=spec,
+            desc=desc,
+            errors=[encode_error(e) for e in errors],
+            casts_used=casts,
+            oracle_casts=oracle,
+            deps=rdl.checker.engine.deps.deps_of(spec.key()),
+            cost_s=cost,
+        ))
+    result.cpu_s += time.process_time() - cpu_start

@@ -31,19 +31,47 @@ class SqlTypeError(Exception):
 _NUMERIC = {"integer", "float"}
 
 
-def wrap_fragment(fragment: str, tables: list[str]) -> str:
+def wrap_fragment(fragment: str, tables: list[str],
+                  db: Database | None = None) -> str:
     """Build the complete-but-artificial query of §2.3 for a fragment.
 
     The query is never executed; it exists so a standard parser accepts the
-    fragment.  Join columns are arbitrary (``a.id = b.a_id``) because the
-    checker only inspects the WHERE clause.
+    fragment.  The ON clause is synthesized from the *real* base and joined
+    table names using the Rails foreign-key conventions (the same ones the
+    query engine joins by): has-many puts ``<singular base>_id`` on the
+    joined table, belongs-to puts ``<singular joined>_id`` on the base.
+    With a ``db``, the direction whose column actually exists is chosen, so
+    every column the artificial query mentions resolves against the schema
+    scope; without one, the has-many direction is assumed.
     """
     base = tables[0] if tables else "t"
     sql = f"SELECT * FROM {base}"
     for table in tables[1:]:
-        sql += f" INNER JOIN {table} ON a.id = b.a_id"
+        sql += f" INNER JOIN {table} ON {_join_on(base, table, db)}"
     sql += f" WHERE {fragment}"
     return sql
+
+
+def _join_on(base: str, joined: str, db: Database | None) -> str:
+    """The synthetic join condition between two real tables."""
+    has_many = f"{base}.id = {joined}.{_foreign_key(base)}"
+    if db is None:
+        return has_many
+    joined_schema = db.schema_of(joined)
+    if joined_schema is not None and joined_schema.column(_foreign_key(base)):
+        return has_many
+    base_schema = db.schema_of(base)
+    if base_schema is not None and base_schema.column(_foreign_key(joined)):
+        return f"{joined}.id = {base}.{_foreign_key(joined)}"
+    return has_many
+
+
+def _foreign_key(table: str) -> str:
+    """The conventional foreign-key column pointing at ``table``:
+    ``topics`` -> ``topic_id``, ``queries`` -> ``query_id``."""
+    from repro.db.engine import singularize
+
+    return singularize(table) + "_id"
 
 
 class SqlChecker:

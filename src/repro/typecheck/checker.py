@@ -21,6 +21,7 @@ The checker has two modes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.lang import ast_nodes as ast
@@ -157,6 +158,7 @@ class TypeChecker:
         errors: list[StaticTypeError] = []
         casts_before = self.report.casts_used
         oracle_before = self.report.oracle_casts
+        check_start = time.perf_counter()
         with self.engine.deps.tracking(key):
             annotations = self.registry.lookup_method(
                 class_name, method_name, static, self.interp)
@@ -176,6 +178,8 @@ class TypeChecker:
                                      class_name, static, desc)
                 except StaticTypeError as error:
                     errors.append(error)
+        # observed cost feeds the parallel shard planner's cost model
+        self.engine.stats.method_costs[desc] = time.perf_counter() - check_start
         return (desc, errors,
                 self.report.casts_used - casts_before,
                 self.report.oracle_casts - oracle_before)

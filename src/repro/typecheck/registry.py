@@ -180,7 +180,12 @@ class AnnotationRegistry:
     def add_annotation(self, key: MethodKey, annotation: MethodAnnotation) -> None:
         self.method_annotations.setdefault(key, []).append(annotation)
         if annotation.label:
-            self.labels.setdefault(annotation.label, []).append(key)
+            # one entry per method regardless of how many of its annotations
+            # carry the label: check_label and the parallel fleet both walk
+            # this list, and verdict parity needs them to agree on the count
+            keys = self.labels.setdefault(annotation.label, [])
+            if key not in keys:
+                keys.append(key)
         if annotation.signature.is_comp():
             self.comp_annotation_count[key.class_name] = (
                 self.comp_annotation_count.get(key.class_name, 0) + 1

@@ -37,6 +37,38 @@ class TestDatabase:
         db.add_column("users", "age", "integer")
         assert db.version > v
 
+    def test_rename_table_preserves_rows_ids_and_associations(self, db):
+        db.rename_table("users", "accounts")
+        assert "users" not in db.tables
+        assert db.tables["accounts"].name == "accounts"
+        assert [r["username"] for r in db.all_rows("accounts")] == ["a", "b"]
+        # the id counter carries over: the next insert continues the sequence
+        row = db.insert("accounts", {"username": "c"})
+        assert row["id"] == 3
+        assert db.associated("accounts", "emails")
+        assert not db.associated("users", "emails")
+
+    def test_rename_table_emits_a_two_table_journal_event(self, db):
+        generation = db.version
+        db.rename_table("users", "accounts")
+        events = db.journal.events_since(generation)
+        assert [e.kind for e in events] == ["rename_table"]
+        assert events[0].table == "users" and events[0].detail == "accounts"
+        # dependents of either name are considered changed
+        assert db.journal.tables_changed_since(generation) == \
+            {"users", "accounts"}
+
+    def test_rename_table_unknown_table_raises(self, db):
+        with pytest.raises(KeyError):
+            db.rename_table("ghosts", "spirits")
+
+    def test_rename_table_refuses_to_clobber_existing_table(self, db):
+        with pytest.raises(KeyError):
+            db.rename_table("users", "emails")
+        # nothing was touched by the refused rename
+        assert set(db.tables) >= {"users", "emails"}
+        assert [r["email"] for r in db.all_rows("emails")] == ["a@x.com"]
+
     def test_naming_conventions(self):
         assert pluralize("Person") == "people"
         assert pluralize("Topic") == "topics"

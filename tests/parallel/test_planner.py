@@ -1,0 +1,117 @@
+"""Unit tests for the shard planner and the wire protocol (no processes)."""
+
+from repro.incremental.stats import IncrementalStats
+from repro.parallel import MethodSpec, method_cost, plan_shards
+from repro.parallel.planner import (
+    BASE_METHOD_COST,
+    COMP_SITE_COST,
+    comp_site_count,
+)
+from repro.parallel.protocol import decode_error, encode_error
+from repro.typecheck.errors import StaticTypeError, TerminationError
+
+
+def _specs(label: str, count: int) -> list[MethodSpec]:
+    return [MethodSpec(label, "C", f"m{i}", False) for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# cost model
+# ---------------------------------------------------------------------------
+
+def test_method_cost_prefers_observed_over_heuristic():
+    stats = IncrementalStats()
+    spec = MethodSpec("app", "C", "m", False)
+    heuristic = method_cost(spec, registry=None, stats=stats)
+    assert heuristic == BASE_METHOD_COST
+    stats.method_costs[spec.desc] = 0.25
+    assert method_cost(spec, registry=None, stats=stats) == 0.25
+
+
+def test_comp_site_heuristic_reads_the_method_body():
+    from repro import CompRDL
+
+    rdl = CompRDL(install_libraries=False)
+    rdl.load("""
+class C
+  def busy(xs)
+    xs.map { |x| x + 1 }.select { |x| x > 2 }
+  end
+  def idle()
+    nil
+  end
+end
+""")
+    from repro.typecheck.registry import MethodKey
+
+    busy = rdl.registry.defined_methods[MethodKey("C", "busy", False)]
+    idle = rdl.registry.defined_methods[MethodKey("C", "idle", False)]
+    assert comp_site_count(busy) > comp_site_count(idle)
+    busy_spec = MethodSpec("app", "C", "busy", False)
+    cost = method_cost(busy_spec, registry=rdl.registry, stats=None)
+    assert cost > BASE_METHOD_COST
+    assert cost == BASE_METHOD_COST + COMP_SITE_COST * comp_site_count(busy)
+
+
+# ---------------------------------------------------------------------------
+# sharding
+# ---------------------------------------------------------------------------
+
+def test_plan_covers_every_spec_exactly_once():
+    specs = _specs("a", 5) + _specs("b", 3) + _specs("c", 4)
+    shards = plan_shards(specs, workers=3)
+    planned = [spec for shard in shards for spec in shard.specs]
+    assert sorted(planned, key=specs.index) == specs
+    assert len(planned) == len(set(planned)) == len(specs)
+
+
+def test_plan_is_deterministic():
+    specs = _specs("a", 7) + _specs("b", 7)
+    first = plan_shards(specs, workers=4)
+    second = plan_shards(specs, workers=4)
+    assert [s.specs for s in first] == [s.specs for s in second]
+
+
+def test_labels_stay_together_when_build_cost_dominates():
+    # two cheap-to-check apps, expensive to build: splitting one app across
+    # two shards would double its build, so 4 workers still get 2 shards
+    specs = _specs("a", 6) + _specs("b", 6)
+    shards = plan_shards(specs, workers=4,
+                         build_costs={"a": 10.0, "b": 10.0})
+    assert len(shards) == 2
+    assert sorted(shard.labels[0] for shard in shards) == ["a", "b"]
+    assert all(len(shard.labels) == 1 for shard in shards)
+
+
+def test_heavy_label_splits_across_spare_workers():
+    stats = IncrementalStats()
+    specs = _specs("hot", 8)
+    for spec in specs:
+        stats.method_costs[spec.desc] = 1.0  # checking dwarfs any build
+    shards = plan_shards(specs, workers=4, stats=stats,
+                         build_costs={"hot": 0.01})
+    assert len(shards) == 4
+    sizes = sorted(len(shard.specs) for shard in shards)
+    assert sizes == [2, 2, 2, 2]
+
+
+def test_single_worker_gets_everything_in_serial_order():
+    specs = _specs("a", 4) + _specs("b", 2)
+    shards = plan_shards(specs, workers=1)
+    assert len(shards) == 1
+    assert shards[0].specs == specs
+
+
+# ---------------------------------------------------------------------------
+# error wire format
+# ---------------------------------------------------------------------------
+
+def test_error_roundtrip_preserves_class_message_line_method():
+    for error in (StaticTypeError("bad type", 12, "C#m"),
+                  TerminationError("loops forever", 3, "C#t")):
+        rebuilt = decode_error(encode_error(error))
+        assert type(rebuilt) is type(error)
+        assert str(rebuilt) == str(error)
+        assert rebuilt.message == error.message
+        assert rebuilt.line == error.line
+        assert rebuilt.method == error.method

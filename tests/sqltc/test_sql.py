@@ -12,6 +12,7 @@ from repro.sqltc import (
     parse_where_fragment,
     wrap_fragment,
 )
+from repro.sqltc.checker import SqlChecker
 
 
 @pytest.fixture
@@ -56,6 +57,35 @@ class TestParser:
         assert sql.startswith("SELECT * FROM posts INNER JOIN topics")
         parse_query(sql)  # the artificial query must parse (§2.3)
 
+    def test_wrap_fragment_on_clause_uses_real_table_names(self, db):
+        sql = wrap_fragment("title = 'x'", ["topics", "posts"])
+        assert "INNER JOIN posts ON topics.id = posts.topic_id" in sql
+        query = parse_query(sql)
+        join = query.joins[0]
+        # every column the synthetic ON clause mentions resolves in-schema
+        checker = SqlChecker(db, ["topics", "posts"], [])
+        assert checker.column_kind(join.on_left) == "integer"
+        assert checker.column_kind(join.on_right) == "integer"
+
+    def test_wrap_fragment_multiple_joins(self):
+        sql = wrap_fragment("group_id = 3",
+                            ["topics", "posts", "topic_allowed_groups"])
+        assert "INNER JOIN posts ON topics.id = posts.topic_id" in sql
+        assert ("INNER JOIN topic_allowed_groups "
+                "ON topics.id = topic_allowed_groups.topic_id") in sql
+        parse_query(sql)
+
+    def test_wrap_fragment_belongs_to_direction(self, db):
+        # the FK lives on posts (posts.topic_id), so joining topics from a
+        # posts base must flip the ON clause to the belongs-to direction
+        sql = wrap_fragment("title = 'x'", ["posts", "topics"], db=db)
+        assert "INNER JOIN topics ON topics.id = posts.topic_id" in sql
+        query = parse_query(sql)
+        join = query.joins[0]
+        checker = SqlChecker(db, ["posts", "topics"], [])
+        assert checker.column_kind(join.on_left) == "integer"
+        assert checker.column_kind(join.on_right) == "integer"
+
 
 class TestChecker:
     def test_fig3_bug_detected(self, db):
@@ -95,6 +125,76 @@ class TestChecker:
 
     def test_unqualified_column_resolution(self, db):
         check_fragment(db, ["posts", "topics"], "views > 3", [])
+
+
+class TestEdgeCases:
+    """ISSUE 2 satellite coverage: nested subqueries, IS NULL, placeholder
+    kinds, and numeric-kind compatibility."""
+
+    def test_nested_in_subquery_ok(self, db):
+        check_fragment(
+            db, ["topics"],
+            "id IN (SELECT topic_id FROM posts WHERE topic_id IN "
+            "(SELECT topic_id FROM topic_allowed_groups WHERE group_id = ?))",
+            ["integer"])
+
+    def test_nested_in_subquery_inner_mismatch_detected(self, db):
+        with pytest.raises(SqlTypeError) as err:
+            check_fragment(
+                db, ["topics"],
+                "id IN (SELECT topic_id FROM posts WHERE raw IN "
+                "(SELECT topic_id FROM topic_allowed_groups))",
+                [])
+        assert "raw" in str(err.value)
+
+    def test_in_subquery_multi_column_select_rejected(self, db):
+        with pytest.raises(SqlTypeError) as err:
+            check_fragment(
+                db, ["topics"],
+                "id IN (SELECT topic_id, group_id FROM topic_allowed_groups)",
+                [])
+        assert "exactly one column" in str(err.value)
+
+    def test_is_null_checks_its_operand(self, db):
+        check_fragment(db, ["topics"], "title IS NULL", [])
+        check_fragment(db, ["topics"], "title IS NOT NULL AND views > 0", [])
+        with pytest.raises(SqlTypeError):
+            check_fragment(db, ["topics"], "missing_col IS NULL", [])
+
+    def test_null_literal_compares_with_any_kind(self, db):
+        check_fragment(db, ["topics"], "title = NULL", [])
+        check_fragment(db, ["topics"], "views <> NULL", [])
+
+    def test_placeholder_kind_mismatch_in_in_list(self, db):
+        check_fragment(db, ["posts"], "topic_id IN (?, ?)",
+                       ["integer", "integer"])
+        with pytest.raises(SqlTypeError) as err:
+            check_fragment(db, ["posts"], "topic_id IN (?, ?)",
+                           ["integer", "string"])
+        assert "topic_id" in str(err.value)
+
+    def test_placeholder_kind_mismatch_in_subquery(self, db):
+        with pytest.raises(SqlTypeError):
+            check_fragment(
+                db, ["posts"],
+                "topic_id IN (SELECT topic_id FROM topic_allowed_groups "
+                "WHERE group_id = ?)",
+                ["boolean"])
+
+    def test_integer_float_comparisons_are_compatible(self, db):
+        db.add_column("topics", "score", "float")
+        check_fragment(db, ["topics"], "views > 1.5", [])
+        check_fragment(db, ["topics"], "score = 3", [])
+        check_fragment(db, ["topics"], "views = score", [])
+        check_fragment(db, ["topics"], "views IN (1, 2.5)", [])
+        check_fragment(db, ["topics"], "score > ?", ["integer"])
+
+    def test_numeric_string_mixing_still_rejected(self, db):
+        db.add_column("topics", "score", "float")
+        with pytest.raises(SqlTypeError):
+            check_fragment(db, ["topics"], "title = 1.5", [])
+        with pytest.raises(SqlTypeError):
+            check_fragment(db, ["topics"], "score = 'high'", [])
 
 
 class TestEvaluator:
