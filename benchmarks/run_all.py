@@ -5,8 +5,8 @@ sees *that* the benchmarks still run and roughly *what* they measure, and
 the per-benchmark JSON lands in an artifact directory for regression
 tracking.  Two benchmark styles are dispatched automatically:
 
-* **script benchmarks** (``bench_incremental``, ``bench_parallel``) have a
-  ``main()`` and quick/JSON switches of their own;
+* **script benchmarks** (``bench_incremental``, ``bench_parallel``,
+  ``bench_backends``) have a ``main()`` and quick/JSON switches of their own;
 * **pytest benchmarks** (everything else) run under pytest with
   pytest-benchmark forced to one warm-up-free round, writing its own
   ``--benchmark-json``.
@@ -54,7 +54,7 @@ def main() -> int:
         json_path = os.path.join(out, f"{name}.json")
         if name == "bench_parallel":
             cmd = [sys.executable, path, "--quick", "--json", json_path]
-        elif name == "bench_incremental":
+        elif name in ("bench_incremental", "bench_backends"):
             env_one = dict(env, BENCH_JSON=json_path)
             code, output = _run([sys.executable, path], env_one)
             _finish(out, name, code, output, statuses)

@@ -46,12 +46,17 @@ class CompRDL:
         insert_checks: bool = True,
         install_libraries: bool = True,
         repair_with_casts: bool = False,
+        backend: str | None = None,
     ):
+        if db is not None and backend is not None:
+            raise ValueError(
+                "pass either db= (an existing Database) or backend= "
+                "(a storage backend name for a fresh one), not both")
         self.interp = Interp()
         self.registry = AnnotationRegistry()
         self.interp.registry = self.registry
         install_type_reflection(self.interp)
-        self.db = db if db is not None else Database()
+        self.db = db if db is not None else Database(backend=backend)
         install_activerecord(self.interp, self.db)
         install_sequel(self.interp, self.db)
         self.library_stats: dict = {}

@@ -24,11 +24,16 @@ class SubjectApp:
     # paper's reported numbers, for side-by-side reporting
     paper: dict = field(default_factory=dict)
 
-    def build(self, **kwargs):
-        """A fresh CompRDL universe with this app loaded (not yet checked)."""
+    def build(self, backend: str | None = None, **kwargs):
+        """A fresh CompRDL universe with this app loaded (not yet checked).
+
+        ``backend`` names the storage backend for the app's database
+        (``None`` → the ``REPRO_DB_BACKEND`` environment default); the
+        checker sees identical schemas and verdicts either way.
+        """
         from repro.api import CompRDL
 
-        db = Database()
+        db = Database(backend=backend)
         self.setup_db(db)
         rdl = CompRDL(db=db, **kwargs)
         install_json(rdl.interp)

@@ -7,7 +7,25 @@ ActiveRecord-like and Sequel-like DSLs (:mod:`repro.orm`) and the SQL type
 checker (:mod:`repro.sqltc`) operate on.
 """
 
-from repro.db.schema import Column, Database, TableSchema
+from repro.db.schema import Column, Database, InvalidRowIdError, TableSchema
 from repro.db.engine import QueryEngine
+from repro.db.backends import (
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+    UnknownBackendError,
+    backend_for_name,
+)
 
-__all__ = ["Column", "Database", "QueryEngine", "TableSchema"]
+__all__ = [
+    "Column",
+    "Database",
+    "InvalidRowIdError",
+    "MemoryBackend",
+    "QueryEngine",
+    "SqliteBackend",
+    "StorageBackend",
+    "TableSchema",
+    "UnknownBackendError",
+    "backend_for_name",
+]

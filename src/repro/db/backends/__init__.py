@@ -1,0 +1,29 @@
+"""Pluggable storage backends for :class:`repro.db.schema.Database`.
+
+The façade keeps the checker-visible semantics (generation counter, schema
+journal, read/change listeners, id assignment); a :class:`StorageBackend`
+keeps the actual schemas and rows — in dicts (:class:`MemoryBackend`) or in
+a real ``sqlite3`` engine introspected via ``PRAGMA table_info``
+(:class:`SqliteBackend`).
+"""
+
+from repro.db.backends.base import (
+    BACKEND_ENV,
+    StorageBackend,
+    UnknownBackendError,
+    backend_for_name,
+    default_backend_name,
+)
+from repro.db.backends.memory import MemoryBackend
+from repro.db.backends.sqlite import SqliteBackend, kind_from_declared
+
+__all__ = [
+    "BACKEND_ENV",
+    "MemoryBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "UnknownBackendError",
+    "backend_for_name",
+    "default_backend_name",
+    "kind_from_declared",
+]

@@ -1,0 +1,145 @@
+"""The storage backend interface.
+
+:class:`~repro.db.schema.Database` is a façade: it owns the *semantics* the
+checker observes — the generation counter, the :class:`SchemaJournal`, the
+read/change listeners, declared associations, and the id-assignment policy —
+while the actual schema and row storage lives behind a
+:class:`StorageBackend`.  Two implementations ship:
+
+* :class:`~repro.db.backends.memory.MemoryBackend` — the original
+  hand-rolled dict storage, extracted verbatim;
+* :class:`~repro.db.backends.sqlite.SqliteBackend` — a real ``sqlite3``
+  engine whose schemas are introspected via ``PRAGMA table_info`` and whose
+  migrations run as real DDL.
+
+The contract every backend must honour (the parity suite enforces it):
+
+* ``tables`` preserves creation order, and renames move the table to the
+  end of the ordering (matching Python dict pop/reinsert);
+* ``all_rows`` returns rows in insertion order, as plain dicts; values *of
+  the declared column kind* round-trip exactly (booleans stay booleans);
+* ``insert`` receives rows whose ``id`` the façade already assigned;
+* ``update_rows``/``delete_rows`` take Python predicates over row dicts —
+  the façade's query semantics are engine-independent, only storage moves.
+
+Two engine-inherent differences are deliberately out of contract:
+
+* a value whose Python type contradicts its column's declared kind (an
+  ``int`` in a ``string`` column) is stored verbatim by the memory backend
+  but adapted by a real engine's type affinity — store declared-kind
+  values if you need cross-backend byte equality;
+* the memory backend mutates matched row dicts in place during
+  ``update_rows`` (its pre-backend behaviour), while a real engine cannot
+  reach dicts already handed out — never hold a row dict across an update,
+  re-read it.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.schema import Column, TableSchema
+
+#: environment variable selecting the default backend for ``Database()``
+#: (the CI matrix runs the whole suite under ``REPRO_DB_BACKEND=sqlite``)
+BACKEND_ENV = "REPRO_DB_BACKEND"
+
+
+class UnknownBackendError(ValueError):
+    """Raised for a backend name that names no implementation."""
+
+
+class StorageBackend(ABC):
+    """Schema + row storage behind :class:`~repro.db.schema.Database`."""
+
+    #: short name used for selection (``Database(backend="sqlite")``) and
+    #: for the worker protocol (shards carry the name, never a connection)
+    name: str = "abstract"
+
+    # -- schema ------------------------------------------------------------
+    @property
+    @abstractmethod
+    def tables(self) -> dict[str, "TableSchema"]:
+        """Name → schema, in creation order (renames move to the end)."""
+
+    @abstractmethod
+    def create_table(self, table: str, columns: list["Column"]) -> None:
+        """Create ``table`` with ``columns`` (the façade already added
+        the automatic ``id`` column)."""
+
+    @abstractmethod
+    def drop_table(self, table: str) -> None:
+        ...
+
+    @abstractmethod
+    def rename_table(self, table: str, new_name: str) -> None:
+        """Rename, preserving rows and column order; the schema moves to
+        the end of the ``tables`` ordering."""
+
+    @abstractmethod
+    def add_column(self, table: str, column: "Column") -> None:
+        ...
+
+    @abstractmethod
+    def drop_column(self, table: str, column: str) -> None:
+        ...
+
+    @abstractmethod
+    def rename_column(self, table: str, column: str, new_name: str) -> None:
+        """Rename in place, preserving column order and row data."""
+
+    # -- rows --------------------------------------------------------------
+    @abstractmethod
+    def insert(self, table: str, row: dict) -> None:
+        ...
+
+    @abstractmethod
+    def all_rows(self, table: str) -> list[dict]:
+        ...
+
+    @abstractmethod
+    def update_rows(self, table: str, predicate: Callable[[dict], bool],
+                    updates: dict) -> int:
+        """Apply ``updates`` to every row matching ``predicate``; returns
+        the number of rows changed."""
+
+    @abstractmethod
+    def delete_rows(self, table: str, predicate: Callable[[dict], bool]) -> int:
+        ...
+
+    @abstractmethod
+    def clear(self, table: str | None = None) -> None:
+        """Delete all rows of ``table`` (or of every table)."""
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release external resources (connections); no-op by default."""
+
+
+def default_backend_name() -> str:
+    """The backend ``Database()`` uses when none is named explicitly."""
+    return os.environ.get(BACKEND_ENV, "memory") or "memory"
+
+
+def backend_for_name(name: str, path: str | None = None) -> StorageBackend:
+    """Construct a backend from its short name.
+
+    ``path`` only applies to engines with on-disk storage (sqlite); the
+    memory backend rejects it.
+    """
+    from repro.db.backends.memory import MemoryBackend
+    from repro.db.backends.sqlite import SqliteBackend
+
+    normalized = (name or "").strip().lower()
+    if normalized in ("memory", "mem", ""):
+        if path is not None:
+            raise UnknownBackendError(
+                "the memory backend has no storage path")
+        return MemoryBackend()
+    if normalized in ("sqlite", "sqlite3"):
+        return SqliteBackend(path if path is not None else ":memory:")
+    raise UnknownBackendError(
+        f"unknown storage backend {name!r} (expected 'memory' or 'sqlite')")

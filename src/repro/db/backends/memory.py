@@ -1,0 +1,105 @@
+"""Dict-backed storage: the original ``Database`` internals, extracted.
+
+Every operation is byte-for-byte what ``Database`` did before backends
+existed — the same dict layouts, the same ordering behaviour, the same
+in-place row mutation (callers holding a row dict from ``update_rows``'s
+predicate see updates land in it) — so the façade over this backend is
+observationally identical to the pre-backend ``Database``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.db.backends.base import StorageBackend
+
+
+class MemoryBackend(StorageBackend):
+    """Schemas and rows in plain Python dicts."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        from repro.db.schema import TableSchema  # cycle guard
+
+        self._tables: dict[str, TableSchema] = {}
+        self.rows: dict[str, list[dict]] = {}
+
+    # -- schema ------------------------------------------------------------
+    @property
+    def tables(self):
+        return self._tables
+
+    def create_table(self, table, columns) -> None:
+        from repro.db.schema import TableSchema
+
+        self._tables[table] = TableSchema(
+            table, {column.name: column for column in columns})
+        self.rows[table] = []
+
+    def drop_table(self, table) -> None:
+        self._tables.pop(table, None)
+        self.rows.pop(table, None)
+
+    def rename_table(self, table, new_name) -> None:
+        schema = self._tables.pop(table)
+        schema.name = new_name
+        self._tables[new_name] = schema
+        self.rows[new_name] = self.rows.pop(table, [])
+
+    def add_column(self, table, column) -> None:
+        schema = self._tables[table]
+        schema.columns[column.name] = column
+        schema._fh_cache = None
+
+    def drop_column(self, table, column) -> None:
+        schema = self._tables[table]
+        schema.columns.pop(column, None)
+        schema._fh_cache = None
+        # SQL semantics: dropping a column drops its data (a real engine's
+        # DROP COLUMN rewrites the rows; leaving stale values behind would
+        # let conditions keep matching on a column that no longer exists)
+        for row in self.rows.get(table, []):
+            row.pop(column, None)
+
+    def rename_column(self, table, column, new_name) -> None:
+        from repro.db.schema import Column
+
+        schema = self._tables[table]
+        schema.columns = {
+            (new_name if name == column else name):
+                (Column(new_name, col.kind) if name == column else col)
+            for name, col in schema.columns.items()
+        }
+        schema._fh_cache = None
+        for row in self.rows.get(table, []):
+            if column in row:
+                row[new_name] = row.pop(column)
+
+    # -- rows --------------------------------------------------------------
+    def insert(self, table, row) -> None:
+        self.rows[table].append(row)
+
+    def all_rows(self, table) -> list[dict]:
+        return list(self.rows.get(table, []))
+
+    def update_rows(self, table, predicate: Callable[[dict], bool],
+                    updates: dict) -> int:
+        changed = 0
+        for row in self.rows[table]:
+            if predicate(row):
+                row.update(updates)
+                changed += 1
+        return changed
+
+    def delete_rows(self, table, predicate: Callable[[dict], bool]) -> int:
+        before = len(self.rows[table])
+        self.rows[table] = [r for r in self.rows[table] if not predicate(r)]
+        return before - len(self.rows[table])
+
+    def clear(self, table=None) -> None:
+        if table is None:
+            for name in self.rows:
+                self.rows[name] = []
+        else:
+            self.rows[table] = []

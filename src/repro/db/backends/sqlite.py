@@ -1,0 +1,260 @@
+"""A real ``sqlite3`` storage engine behind the ``Database`` façade.
+
+Schemas are never hand-maintained here: after every DDL statement the
+affected table is re-introspected with ``PRAGMA table_info``, so the
+``TableSchema`` objects the comp types consult always describe what the
+engine itself reports — including for databases this process did not
+create (``Database.attach(path)``).
+
+Migrations translate to real DDL:
+
+* ``create_table``  → ``CREATE TABLE``
+* ``drop_table``    → ``DROP TABLE``
+* ``rename_table``  → ``ALTER TABLE ... RENAME TO``
+* ``add_column``    → ``ALTER TABLE ... ADD COLUMN``
+* ``drop_column``   → ``ALTER TABLE ... DROP COLUMN``
+* ``rename_column`` → ``ALTER TABLE ... RENAME COLUMN ... TO``
+
+Row parity with the memory backend (what the parity suite asserts):
+values round-trip by *declared* column type — booleans come back as
+booleans, not 0/1 — and columns a row never set are omitted from the
+returned dict (the memory backend's rows simply lack those keys; every
+consumer reads rows with ``dict.get``, so NULL-vs-absent is unobservable).
+
+Connections are process-local and deliberately unpicklable: the parallel
+worker protocol ships the backend *name* (plus a path for on-disk files)
+and each worker opens its own connection.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable
+
+from repro.db.backends.base import StorageBackend
+
+#: repro column kind → sqlite declared type.  The declared names are chosen
+#: so the reverse mapping below is a bijection for our kinds *and* each
+#: name lands in the right sqlite type-affinity class (VARCHAR → TEXT, so
+#: numeric-looking strings are not coerced to numbers on insert).
+_KIND_TO_SQL = {
+    "integer": "INTEGER",
+    "string": "VARCHAR",
+    "text": "TEXT",
+    "boolean": "BOOLEAN",
+    "float": "DOUBLE",
+    "datetime": "DATETIME",
+}
+
+_SQL_TO_KIND = {sql: kind for kind, sql in _KIND_TO_SQL.items()}
+
+
+def kind_from_declared(declared: str) -> str:
+    """Map a sqlite declared column type back to a repro column kind.
+
+    Exact matches cover everything this backend itself creates; the
+    substring fallbacks (modelled on sqlite's own affinity rules) cover
+    attached databases created by other tools (``VARCHAR(255)``,
+    ``NUMERIC``, ``INTEGER PRIMARY KEY`` ...).
+    """
+    normalized = (declared or "").strip().upper()
+    if normalized in _SQL_TO_KIND:
+        return _SQL_TO_KIND[normalized]
+    if "INT" in normalized:
+        return "integer"
+    if "BOOL" in normalized:
+        return "boolean"
+    if "CHAR" in normalized or "CLOB" in normalized:
+        return "string"
+    if "TEXT" in normalized:
+        return "text"
+    if "REAL" in normalized or "FLOA" in normalized or "DOUB" in normalized:
+        return "float"
+    if "DATE" in normalized or "TIME" in normalized:
+        return "datetime"
+    # sqlite's own fallback affinity is NUMERIC; for schema types the
+    # safest conservative kind is string
+    return "string"
+
+
+def _quote(identifier: str) -> str:
+    """Quote an identifier for DDL/DML (doubling embedded quotes)."""
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+class SqliteBackend(StorageBackend):
+    """Schema + row storage in a sqlite database (file or ``:memory:``)."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self.conn = sqlite3.connect(path)
+        # TableSchema mirror, rebuilt from PRAGMA after every DDL; dict
+        # order tracks creation order (renames re-append, like the memory
+        # backend's pop/reinsert)
+        self._schemas: dict = {}
+        for table in self._table_names():
+            self._schemas[table] = self._introspect(table)
+
+    # -- introspection -----------------------------------------------------
+    def _table_names(self) -> list[str]:
+        cursor = self.conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "AND name NOT LIKE 'sqlite_%' ORDER BY rowid")
+        return [row[0] for row in cursor.fetchall()]
+
+    def _introspect(self, table: str):
+        """One table's schema, as sqlite reports it (``PRAGMA table_info``)."""
+        from repro.db.schema import Column, TableSchema
+
+        info = self.conn.execute(
+            f"PRAGMA table_info({_quote(table)})").fetchall()
+        columns = {
+            name: Column(name, kind_from_declared(declared))
+            for (_cid, name, declared, _notnull, _default, _pk) in info
+        }
+        return TableSchema(table, columns)
+
+    def _refresh(self, table: str) -> None:
+        self._schemas[table] = self._introspect(table)
+
+    # -- schema ------------------------------------------------------------
+    @property
+    def tables(self):
+        return self._schemas
+
+    def create_table(self, table, columns) -> None:
+        defs = ", ".join(
+            f"{_quote(column.name)} {_KIND_TO_SQL.get(column.kind, 'VARCHAR')}"
+            for column in columns
+        )
+        self.conn.execute(f"CREATE TABLE {_quote(table)} ({defs})")
+        self.conn.commit()
+        self._refresh(table)
+
+    def drop_table(self, table) -> None:
+        self.conn.execute(f"DROP TABLE IF EXISTS {_quote(table)}")
+        self.conn.commit()
+        self._schemas.pop(table, None)
+
+    def rename_table(self, table, new_name) -> None:
+        self.conn.execute(
+            f"ALTER TABLE {_quote(table)} RENAME TO {_quote(new_name)}")
+        self.conn.commit()
+        self._schemas.pop(table, None)
+        self._refresh(new_name)
+
+    def add_column(self, table, column) -> None:
+        declared = _KIND_TO_SQL.get(column.kind, "VARCHAR")
+        self.conn.execute(
+            f"ALTER TABLE {_quote(table)} "
+            f"ADD COLUMN {_quote(column.name)} {declared}")
+        self.conn.commit()
+        self._refresh(table)
+
+    def drop_column(self, table, column) -> None:
+        if column not in self._schemas[table].columns:
+            return
+        self.conn.execute(
+            f"ALTER TABLE {_quote(table)} DROP COLUMN {_quote(column)}")
+        self.conn.commit()
+        self._refresh(table)
+
+    def rename_column(self, table, column, new_name) -> None:
+        self.conn.execute(
+            f"ALTER TABLE {_quote(table)} "
+            f"RENAME COLUMN {_quote(column)} TO {_quote(new_name)}")
+        self.conn.commit()
+        self._refresh(table)
+
+    # -- rows --------------------------------------------------------------
+    def insert(self, table, row) -> None:
+        if not row:
+            self.conn.execute(f"INSERT INTO {_quote(table)} DEFAULT VALUES")
+        else:
+            names = list(row)
+            placeholders = ", ".join("?" for _ in names)
+            quoted = ", ".join(_quote(name) for name in names)
+            self.conn.execute(
+                f"INSERT INTO {_quote(table)} ({quoted}) "
+                f"VALUES ({placeholders})",
+                [row[name] for name in names])
+        self.conn.commit()
+
+    def all_rows(self, table) -> list[dict]:
+        return [row for _rowid, row in self._rows_with_ids(table)]
+
+    def _rows_with_ids(self, table) -> list[tuple[int, dict]]:
+        """(rowid, row-dict) pairs in insertion order, values converted
+        back to Python by declared column kind, NULL columns omitted."""
+        schema = self._schemas.get(table)
+        if schema is None:
+            return []
+        names = list(schema.columns)
+        if not names:
+            return []
+        quoted = ", ".join(_quote(name) for name in names)
+        cursor = self.conn.execute(
+            f"SELECT rowid, {quoted} FROM {_quote(table)} ORDER BY rowid")
+        out = []
+        for fetched in cursor.fetchall():
+            rowid, values = fetched[0], fetched[1:]
+            row = {}
+            for name, value in zip(names, values):
+                if value is None:
+                    continue
+                if schema.columns[name].kind == "boolean" and \
+                        isinstance(value, int):
+                    value = bool(value)
+                row[name] = value
+            out.append((rowid, row))
+        return out
+
+    def update_rows(self, table, predicate: Callable[[dict], bool],
+                    updates: dict) -> int:
+        if table not in self._schemas:
+            raise KeyError(table)
+        matching = [rowid for rowid, row in self._rows_with_ids(table)
+                    if predicate(row)]
+        if matching and updates:
+            assignments = ", ".join(
+                f"{_quote(name)} = ?" for name in updates)
+            placeholders = ", ".join("?" for _ in matching)
+            self.conn.execute(
+                f"UPDATE {_quote(table)} SET {assignments} "
+                f"WHERE rowid IN ({placeholders})",
+                [*updates.values(), *matching])
+            self.conn.commit()
+        return len(matching)
+
+    def delete_rows(self, table, predicate: Callable[[dict], bool]) -> int:
+        if table not in self._schemas:
+            raise KeyError(table)
+        matching = [rowid for rowid, row in self._rows_with_ids(table)
+                    if predicate(row)]
+        if matching:
+            placeholders = ", ".join("?" for _ in matching)
+            self.conn.execute(
+                f"DELETE FROM {_quote(table)} "
+                f"WHERE rowid IN ({placeholders})", matching)
+            self.conn.commit()
+        return len(matching)
+
+    def clear(self, table=None) -> None:
+        # an unknown table is a no-op, matching the memory backend
+        targets = list(self._schemas) if table is None else \
+            [table] if table in self._schemas else []
+        for target in targets:
+            self.conn.execute(f"DELETE FROM {_quote(target)}")
+        self.conn.commit()
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self.conn.close()
+
+    def __getstate__(self):  # pragma: no cover - exercised by pickle
+        raise TypeError(
+            "SqliteBackend holds a live sqlite3 connection and cannot be "
+            "pickled; ship the backend name (and file path) and reopen it "
+            "in the receiving process — see repro.parallel.protocol")

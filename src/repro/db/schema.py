@@ -62,12 +62,50 @@ class TableSchema:
         return GenericType("Table", [self.finite_hash()])
 
 
-class Database:
-    """Schemas plus row storage plus declared associations."""
+class InvalidRowIdError(TypeError):
+    """An explicit ``id`` value that is not an integer."""
 
-    def __init__(self) -> None:
-        self.tables: dict[str, TableSchema] = {}
-        self.rows: dict[str, list[dict]] = {}
+    def __init__(self, table: str, value: object):
+        super().__init__(
+            f"invalid id {value!r} for table {table!r}: "
+            f"ids must be integers")
+        self.table = table
+        self.value = value
+
+
+class Database:
+    """Schemas plus row storage plus declared associations.
+
+    A *façade*: the checker-visible semantics live here — the generation
+    counter, the :class:`SchemaJournal`, the read/change listeners, the
+    declared associations, and the id-assignment policy — while schema and
+    row storage delegates to a pluggable :class:`StorageBackend`
+    (:mod:`repro.db.backends`).  Both backends drive the same journal, so
+    the incremental engine's invalidation and the parallel fleet's
+    dependency back-feed work unchanged against either.
+
+    ``backend`` may be a backend name (``"memory"``/``"sqlite"``), an
+    already-constructed backend instance, or ``None`` (the
+    ``REPRO_DB_BACKEND`` environment variable, defaulting to memory).
+    ``path`` selects on-disk storage for backends that support it; see
+    :meth:`attach` for opening a database some other tool created.
+    """
+
+    def __init__(self, backend: "str | None" = None,
+                 path: str | None = None) -> None:
+        from repro.db.backends import (StorageBackend, backend_for_name,
+                                       default_backend_name)
+
+        if isinstance(backend, StorageBackend):
+            if path is not None:
+                raise ValueError(
+                    "path= only applies when naming a backend; the instance "
+                    "passed already chose its storage")
+            self.backend = backend
+        else:
+            self.backend = backend_for_name(
+                backend if backend is not None else default_backend_name(),
+                path)
         # model associations: (owner_table, assoc_table) pairs declared via
         # has_many / belongs_to — consulted by the `joins` comp type
         self.associations: set[tuple[str, str]] = set()
@@ -80,6 +118,35 @@ class Database:
         self.journal = SchemaJournal()
         self.read_listeners: list = []
         self.change_listeners: list = []
+        # pre-existing tables (an attached on-disk schema): seed the id
+        # counters past whatever rows are already there
+        for name, schema in self.backend.tables.items():
+            if schema.column("id") is not None:
+                highest = max(
+                    (row["id"] for row in self.backend.all_rows(name)
+                     if isinstance(row.get("id"), int)),
+                    default=0)
+                self._next_ids[name] = highest + 1
+
+    @classmethod
+    def attach(cls, path: str, backend: str = "sqlite") -> "Database":
+        """Open an existing on-disk database this process did not create.
+
+        The schemas come straight from engine introspection (``PRAGMA
+        table_info`` for sqlite), so a subject app can be checked against
+        a real schema file.  Generation 0 is the attached state: no
+        journal events are emitted for pre-existing tables.
+        """
+        return cls(backend=backend, path=path)
+
+    @property
+    def backend_name(self) -> str:
+        """The storage backend's short name (worker protocol / reporting)."""
+        return self.backend.name
+
+    @property
+    def tables(self) -> dict[str, TableSchema]:
+        return self.backend.tables
 
     # -- incremental hooks -------------------------------------------------
     def add_read_listener(self, listener) -> None:
@@ -110,21 +177,21 @@ class Database:
 
         An integer ``id`` column is added automatically when absent.
         """
-        schema = TableSchema(
-            table_name, {c: Column(c, kind) for c, kind in columns.items()}
-        )
-        if "id" not in schema.columns:
-            schema.columns = {"id": Column("id", "integer"), **schema.columns}
-        self.tables[table_name] = schema
-        self.rows[table_name] = []
+        declared = [Column(c, kind) for c, kind in columns.items()]
+        if not any(column.name == "id" for column in declared):
+            declared.insert(0, Column("id", "integer"))
+        self.backend.create_table(table_name, declared)
         self._next_ids[table_name] = 1
         self._mutated("create_table", table_name)
-        return schema
+        return self.backend.tables[table_name]
 
     def drop_table(self, table: str) -> None:
-        """Remove a whole table (migration)."""
-        self.tables.pop(table, None)
-        self.rows.pop(table, None)
+        """Remove a whole table (migration).  Dropping a table that does
+        not exist is a no-op: nothing changed, so no generation bump and
+        no journal event (dependents stay clean)."""
+        if table not in self.backend.tables:
+            return
+        self.backend.drop_table(table)
         self._next_ids.pop(table, None)
         self.associations = {
             pair for pair in self.associations if table not in pair
@@ -136,15 +203,12 @@ class Database:
         and associations.  Dependents of the old name are invalidated: the
         journal event carries the new name as its detail, so both names
         count as changed."""
-        if table not in self.tables:
+        if table not in self.backend.tables:
             raise KeyError(f"no such table {table!r}")
-        if new_name in self.tables:
+        if new_name in self.backend.tables:
             raise KeyError(
                 f"cannot rename {table!r} to {new_name!r}: table exists")
-        schema = self.tables.pop(table)
-        schema.name = new_name
-        self.tables[new_name] = schema
-        self.rows[new_name] = self.rows.pop(table, [])
+        self.backend.rename_table(table, new_name)
         self._next_ids[new_name] = self._next_ids.pop(table, 1)
         self.associations = {
             tuple(new_name if name == table else name for name in pair)
@@ -153,42 +217,47 @@ class Database:
         self._mutated("rename_table", table, detail=new_name)
 
     def drop_column(self, table: str, column: str) -> None:
-        """Remove a column (used to exercise comp-type consistency checks)."""
-        schema = self.tables[table]
-        schema.columns.pop(column, None)
-        schema._fh_cache = None
+        """Remove a column (used to exercise comp-type consistency checks).
+
+        Dropping a column that does not exist (or from a table that does
+        not exist) is a no-op: no generation bump, no journal event."""
+        schema = self.backend.tables.get(table)
+        if schema is None or schema.column(column) is None:
+            return
+        self.backend.drop_column(table, column)
         self._mutated("drop_column", table, column)
 
     def add_column(self, table: str, column: str, kind: str) -> None:
-        self.tables[table].columns[column] = Column(column, kind)
-        self.tables[table]._fh_cache = None
+        if table not in self.backend.tables:
+            raise KeyError(
+                f"cannot add column {column!r}: no such table {table!r}")
+        if column in self.backend.tables[table].columns:
+            raise KeyError(
+                f"cannot add column {column!r} to {table!r}: column exists")
+        self.backend.add_column(table, Column(column, kind))
         self._mutated("add_column", table, column)
 
     def rename_column(self, table: str, column: str, new_name: str) -> None:
         """Rename a column in place, preserving order and row data."""
-        schema = self.tables[table]
+        schema = self.backend.tables[table]
         if column not in schema.columns:
             raise KeyError(f"no column {column!r} in table {table!r}")
-        schema.columns = {
-            (new_name if name == column else name):
-                (Column(new_name, col.kind) if name == column else col)
-            for name, col in schema.columns.items()
-        }
-        schema._fh_cache = None
-        for row in self.rows.get(table, []):
-            if column in row:
-                row[new_name] = row.pop(column)
+        if new_name in schema.columns:
+            raise KeyError(
+                f"cannot rename {column!r} to {new_name!r}: column exists "
+                f"in table {table!r}")
+        self.backend.rename_column(table, column, new_name)
         self._mutated("rename_column", table, column, detail=new_name)
 
     def schema_of(self, table: str) -> TableSchema | None:
         self.note_read(table)
-        return self.tables.get(table)
+        return self.backend.tables.get(table)
 
     def all_schemas(self) -> dict[str, TableSchema]:
         """Every table schema; registers a wildcard read (whole-schema
         consumers like ``RDL.db_schema`` depend on any change)."""
         self.note_read(WILDCARD)
-        return dict(self.tables)
+        return dict(self.backend.tables)
 
     def schema_hash(self) -> RHash:
         """``RDL.db_schema``: table name symbol → ``Table<{...}>`` type."""
@@ -208,29 +277,51 @@ class Database:
 
     # -- rows ----------------------------------------------------------------
     def insert(self, table: str, values: dict) -> dict:
-        """Insert a row (auto-assigning ``id``) and return it."""
-        if table not in self.tables:
+        """Insert a row (auto-assigning ``id``) and return it.
+
+        An explicit ``id`` must be an integer — anything else raises
+        :class:`InvalidRowIdError` before any bookkeeping or storage is
+        touched (the next-id counter and the backend stay consistent).
+        """
+        schema = self.backend.tables.get(table)
+        if schema is None:
             raise KeyError(f"no such table {table!r}")
         row = dict(values)
-        if "id" not in row:
-            row["id"] = self._next_ids[table]
+        self._validate_columns(table, schema, row)
+        if "id" in row:
+            row_id = row["id"]
+            if isinstance(row_id, bool) or not isinstance(row_id, int):
+                raise InvalidRowIdError(table, row_id)
+            self._next_ids[table] = max(
+                self._next_ids.get(table, 1), row_id + 1)
+        elif schema.column("id") is not None:
+            row["id"] = self._next_ids.setdefault(table, 1)
             self._next_ids[table] += 1
-        else:
-            self._next_ids[table] = max(self._next_ids[table], int(row["id"]) + 1)
-        self.rows[table].append(row)
+        self.backend.insert(table, row)
         return row
 
     def all_rows(self, table: str) -> list[dict]:
-        return list(self.rows.get(table, []))
+        return self.backend.all_rows(table)
+
+    def update_rows(self, table: str, predicate, updates: dict) -> int:
+        """Apply ``updates`` to every row matching ``predicate``."""
+        schema = self.backend.tables.get(table)
+        if schema is not None:
+            self._validate_columns(table, schema, updates)
+        return self.backend.update_rows(table, predicate, updates)
+
+    @staticmethod
+    def _validate_columns(table: str, schema: TableSchema, values: dict) -> None:
+        """SQL semantics: writing a column the schema lacks is an error on
+        any engine — reject it up front so both backends agree (the memory
+        backend would otherwise store the stray key silently while a real
+        engine raises its own error mid-statement)."""
+        for name in values:
+            if schema.column(name) is None:
+                raise KeyError(f"no column {name!r} in table {table!r}")
 
     def delete_rows(self, table: str, predicate) -> int:
-        before = len(self.rows[table])
-        self.rows[table] = [r for r in self.rows[table] if not predicate(r)]
-        return before - len(self.rows[table])
+        return self.backend.delete_rows(table, predicate)
 
     def clear(self, table: str | None = None) -> None:
-        if table is None:
-            for name in self.rows:
-                self.rows[name] = []
-        else:
-            self.rows[table] = []
+        self.backend.clear(table)

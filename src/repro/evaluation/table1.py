@@ -78,12 +78,14 @@ def render_table1(rows: dict | None = None) -> str:
     return "\n".join(lines)
 
 
-def fleet_check_rows(workers: int = 1) -> dict:
+def fleet_check_rows(workers: int = 1, backend: str | None = None) -> dict:
     """Cold-check every subject app's labelled methods, per label.
 
     With ``workers > 1`` the combined method set is sharded across a
     parallel worker fleet; the verdicts are identical to a serial walk
-    either way (the merge guarantees it).
+    either way (the merge guarantees it).  ``backend`` selects the storage
+    backend every universe is built against (memory or sqlite) — verdicts
+    are identical on both, which is the point.
     """
     import time
 
@@ -92,7 +94,7 @@ def fleet_check_rows(workers: int = 1) -> dict:
 
     labels = [app.label for app in all_apps()]
     start = time.perf_counter()
-    run = check_fleet(labels, workers=workers)
+    run = check_fleet(labels, workers=workers, backend=backend)
     wall = time.perf_counter() - start
     specs = _fleet_specs(run)
     per_label = {
@@ -104,6 +106,7 @@ def fleet_check_rows(workers: int = 1) -> dict:
         "methods": len(run.report.checked_methods),
         "errors": [str(e) for e in run.report.errors],
         "workers": workers,
+        "backend": backend or "default",
         "shards": len(run.shards),
         "wall_s": wall,
         "critical_path_s": run.critical_path_s,
@@ -114,12 +117,12 @@ def _fleet_specs(run):
     return [spec for shard in run.shards for spec in shard.specs]
 
 
-def render_fleet_check(workers: int = 1) -> str:
-    rows = fleet_check_rows(workers)
+def render_fleet_check(workers: int = 1, backend: str | None = None) -> str:
+    rows = fleet_check_rows(workers, backend=backend)
     lines = [
         "",
         f"Subject-app cold check ({rows['workers']} worker(s), "
-        f"{rows['shards']} shard(s)):",
+        f"{rows['shards']} shard(s), {rows['backend']} backend):",
         f"  methods checked: {rows['methods']}  "
         f"errors: {len(rows['errors'])}  "
         f"wall: {rows['wall_s']:.3f}s  "
@@ -137,7 +140,13 @@ if __name__ == "__main__":
                      help="also cold-check every subject-app method")
     cli.add_argument("--workers", type=int, default=1,
                      help="shard the app check across N worker processes")
+    cli.add_argument("--backend", default=None,
+                     choices=["memory", "sqlite"],
+                     help="storage backend for every universe "
+                          "(default: REPRO_DB_BACKEND or memory)")
     options = cli.parse_args()
     print(render_table1())
-    if options.check_apps or options.workers > 1:
-        print(render_fleet_check(max(1, options.workers)))
+    # --backend only affects the app universes, so it implies --check-apps
+    if options.check_apps or options.workers > 1 or options.backend:
+        print(render_fleet_check(max(1, options.workers),
+                                 backend=options.backend))

@@ -95,10 +95,9 @@ def _define_instance_persistence(interp, klass: RClass, table: str) -> None:
             stored = i.db.insert(table, row)
             recv.ivars["@id"] = stored["id"]
         else:
-            for stored in i.db.rows[table]:
-                if stored.get("id") == existing_id:
-                    stored.update(row)
-                    stored["id"] = existing_id
+            row["id"] = existing_id
+            i.db.update_rows(
+                table, lambda stored: stored.get("id") == existing_id, row)
         return True
 
     def update(i, recv, args, block):
@@ -397,12 +396,10 @@ def _relation_call(interp, relation: RelationValue, name: str, args, block):
         updates = _conditions_from(args)
         engine = QueryEngine(relation.db)
         conditions = [dict(c) for c in relation.conditions]
-        changed = 0
-        for row in relation.db.rows[relation.base_table]:
-            if all(engine._matches(row, c) for c in conditions):
-                row.update(updates)
-                changed += 1
-        return changed
+        return relation.db.update_rows(
+            relation.base_table,
+            lambda row: all(engine._matches(row, c) for c in conditions),
+            updates)
     if name in ("each", "find_each"):
         records = relation.records(interp)
         if block is not None:

@@ -101,14 +101,19 @@ class RelationValue:
     def comprdl_check_table(self, interp, schema_type) -> bool:
         """Membership test for ``Table<S>``: our joined schema must match.
 
-        Memoized per (relation shape, expected schema, db version) — the
-        same checked call site produces the same shapes every iteration.
+        Memoized per (relation shape, expected schema's *structural* form,
+        db generation) — the same checked call site produces the same
+        shapes every iteration, and a hit costs one repr of the expected
+        type, not a rebuild of the joined schema.  Never key on
+        ``id(schema_type)``: type objects are garbage-collected between
+        checks, and a recycled id would replay a stale verdict for a
+        differently-shaped type.
         """
         from repro.rtypes import subtype
 
         if not isinstance(schema_type, FiniteHashType):
             return True
-        key = (self.base_table, self.joins, id(schema_type),
+        key = (self.base_table, self.joins, repr(schema_type),
                getattr(self.db, "version", 0))
         cached = _TABLE_CHECK_CACHE.get(key)
         if cached is not None:

@@ -161,11 +161,10 @@ def _sequel_extra(interp, relation: RelationValue, name: str, args, block):
 
         engine = QueryEngine(relation.db)
         conditions = [dict(c) for c in relation.conditions]
-        changed = 0
-        for row in relation.db.rows[relation.base_table]:
-            if all(engine._matches(row, c) for c in conditions):
-                row.update(updates)
-                changed += 1
+        changed = relation.db.update_rows(
+            relation.base_table,
+            lambda row: all(engine._matches(row, c) for c in conditions),
+            updates)
         return True, changed
     if name == "delete":
         return True, _relation_call(interp, relation, "delete_all", args, block)

@@ -76,8 +76,15 @@ def _normalize_labels(labels) -> list[str]:
 class ParallelCheckEngine:
     """A persistent multi-process checking fleet over subject-app labels."""
 
-    def __init__(self, workers: int | None = None, stats: IncrementalStats | None = None):
+    def __init__(self, workers: int | None = None,
+                 stats: IncrementalStats | None = None,
+                 backend: str | None = None):
         self.workers = max(1, workers or os.cpu_count() or 1)
+        # storage backend name for every universe this fleet builds —
+        # parent-side catalogs and worker-side rebuilds alike (None → the
+        # REPRO_DB_BACKEND environment default, which spawn children
+        # inherit); the name travels in each ShardTask, never a connection
+        self.backend = backend
         self.stats = stats or IncrementalStats()
         self.build_costs: dict[str, float] = {}
         self._pool: ProcessPoolExecutor | None = None
@@ -137,7 +144,7 @@ class ParallelCheckEngine:
         universe = self._catalog.get(label)
         if universe is None:
             build_start = time.perf_counter()
-            universe = app_for_label(label).build()
+            universe = app_for_label(label).build(backend=self.backend)
             self.build_costs.setdefault(
                 label, time.perf_counter() - build_start)
             self._catalog[label] = universe
@@ -180,7 +187,8 @@ class ParallelCheckEngine:
 
     def _run_shards(self, shards: list[Shard]) -> list[ShardResult]:
         tasks = [
-            ShardTask(shard_id=shard.index, specs=tuple(shard.specs))
+            ShardTask(shard_id=shard.index, specs=tuple(shard.specs),
+                      backend=self.backend)
             for shard in shards
         ]
         if self.workers == 1 or len(tasks) <= 1:
@@ -200,9 +208,9 @@ class ParallelCheckEngine:
             self.stats.methods_checked_parallel += len(result.verdicts)
 
 
-def check_fleet(labels, workers: int) -> ParallelRun:
+def check_fleet(labels, workers: int, backend: str | None = None) -> ParallelRun:
     """One-shot convenience: spin a fleet up, check, tear it down."""
-    with ParallelCheckEngine(workers=workers) as engine:
+    with ParallelCheckEngine(workers=workers, backend=backend) as engine:
         return engine.check_labels(labels)
 
 
@@ -245,7 +253,8 @@ def check_universe_parallel(rdl, labels, workers: int) -> TypeErrorReport:
         build_costs=None,
     )
     tasks = [
-        ShardTask(shard_id=shard.index, specs=tuple(shard.specs))
+        ShardTask(shard_id=shard.index, specs=tuple(shard.specs),
+                  backend=rdl.db.backend_name)
         for shard in shards
     ]
     results: list[ShardResult] = []

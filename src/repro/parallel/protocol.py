@@ -52,10 +52,17 @@ class MethodSpec:
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One worker assignment: an ordered slice of the fleet's methods."""
+    """One worker assignment: an ordered slice of the fleet's methods.
+
+    ``backend`` names the storage backend the worker must build its
+    universes against (``None`` → the environment default).  Only the
+    *name* crosses the process boundary — a live engine connection
+    (sqlite3) is unpicklable by design; each worker opens its own.
+    """
 
     shard_id: int
     specs: tuple[MethodSpec, ...]
+    backend: str | None = None
 
     @property
     def labels(self) -> tuple[str, ...]:

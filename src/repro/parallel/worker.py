@@ -50,7 +50,7 @@ def run_shard(task: ShardTask) -> ShardResult:
         rdl = universes.get(label)
         if rdl is None:
             build_start = time.perf_counter()
-            rdl = app_for_label(label).build()
+            rdl = app_for_label(label).build(backend=task.backend)
             result.build_s[label] = time.perf_counter() - build_start
             result.db_versions[label] = rdl.db.version
             universes[label] = rdl

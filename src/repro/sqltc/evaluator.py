@@ -98,13 +98,17 @@ def _run_subquery(db: Database, query: Query, args: tuple) -> list:
 
 
 def _compare(op: str, left, right) -> bool:
+    # SQL three-valued logic: any comparison with NULL — including `=` and
+    # `<>` — is NULL, which is not-true, so the row is filtered out.  This
+    # matches what a real engine (e.g. the sqlite backend) returns;
+    # `NULL = NULL` must NOT evaluate true.  IS NULL is the only null test.
     try:
+        if left is None or right is None:
+            return False
         if op == "=":
             return left == right
         if op in ("<>", "!="):
             return left != right
-        if left is None or right is None:
-            return False
         if op == "<":
             return left < right
         if op == ">":

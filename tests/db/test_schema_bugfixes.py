@@ -1,0 +1,148 @@
+"""Schema-mutation bugfix regressions.
+
+Three fixes pinned here, each run against both backends:
+
+* ``drop_table`` / ``drop_column`` on a missing target are no-ops — no
+  generation bump, no journal event, no dependents dirtied;
+* ``add_column`` on a missing table raises a clear error *before*
+  journaling (previously a raw ``KeyError`` escaped mid-journal);
+* an explicit non-integer ``id`` raises :class:`InvalidRowIdError`
+  instead of crashing the next-id bookkeeping.
+"""
+
+import pytest
+
+from repro import CompRDL, Database
+from repro.db import InvalidRowIdError
+
+BACKENDS = ["memory", "sqlite"]
+
+
+@pytest.fixture(params=BACKENDS)
+def db(request):
+    d = Database(backend=request.param)
+    d.create_table("users", username="string")
+    return d
+
+
+class TestMissingTargetDrops:
+    def test_drop_missing_table_is_a_silent_noop(self, db):
+        version = db.version
+        events = len(db.journal)
+        db.drop_table("ghosts")
+        assert db.version == version
+        assert len(db.journal) == events
+
+    def test_drop_missing_column_is_a_silent_noop(self, db):
+        version = db.version
+        events = len(db.journal)
+        db.drop_column("users", "nickname")
+        db.drop_column("ghosts", "anything")  # missing table, too
+        assert db.version == version
+        assert len(db.journal) == events
+
+    def test_real_drops_still_journal(self, db):
+        version = db.version
+        db.drop_column("users", "username")
+        db.drop_table("users")
+        assert db.version == version + 2
+        kinds = [e.kind for e in db.journal.events_since(version)]
+        assert kinds == ["drop_column", "drop_table"]
+
+    def test_noop_drops_do_not_dirty_dependents(self, db):
+        """The incremental engine must see zero schema events for no-ops."""
+        rdl = CompRDL(db=db)
+        rdl.load("""
+class User < ActiveRecord::Base
+  type "(String) -> %bool", typecheck: :noop
+  def self.taken?(name)
+    User.exists?({ username: name })
+  end
+end
+""")
+        assert rdl.check_all("noop").ok()
+        stats = rdl.incremental_stats
+        events, dirtied = stats.schema_events, stats.methods_dirtied
+        db.drop_table("ghosts")
+        db.drop_column("users", "nickname")
+        assert stats.schema_events == events
+        assert stats.methods_dirtied == dirtied
+        assert not rdl.incremental.dirty
+        # a real drop, by contrast, fires one event and dirties the reader
+        db.drop_column("users", "username")
+        assert stats.schema_events == events + 1
+        assert rdl.incremental.dirty
+
+
+class TestColumnCollisions:
+    """Colliding column names must fail identically on both backends —
+    previously memory silently merged/clobbered while sqlite raised its
+    own OperationalError mid-statement."""
+
+    def test_rename_column_refuses_to_clobber(self, db):
+        db.add_column("users", "email", "string")
+        db.insert("users", {"username": "a", "email": "a@x.com"})
+        version = db.version
+        with pytest.raises(KeyError, match="column exists"):
+            db.rename_column("users", "username", "email")
+        assert db.version == version
+        assert list(db.tables["users"].columns) == ["id", "username", "email"]
+        assert db.all_rows("users")[0]["email"] == "a@x.com"
+
+    def test_add_column_refuses_an_existing_name(self, db):
+        version = db.version
+        with pytest.raises(KeyError, match="column exists"):
+            db.add_column("users", "username", "integer")
+        assert db.version == version
+        assert db.tables["users"].columns["username"].kind == "string"
+
+
+class TestUnknownColumnWrites:
+    """Writing a column the schema lacks is an error on any SQL engine;
+    the façade rejects it up front so both backends agree."""
+
+    def test_insert_unknown_column_rejected(self, db):
+        with pytest.raises(KeyError, match="no column 'nickname'"):
+            db.insert("users", {"nickname": "x"})
+        assert db.all_rows("users") == []
+
+    def test_update_rows_unknown_column_rejected(self, db):
+        db.insert("users", {"username": "a"})
+        with pytest.raises(KeyError, match="no column 'nickname'"):
+            db.update_rows("users", lambda r: True, {"nickname": "x"})
+        assert db.all_rows("users") == [{"username": "a", "id": 1}]
+
+
+class TestAddColumnMissingTable:
+    def test_raises_a_clear_error(self, db):
+        with pytest.raises(KeyError, match="no such table 'ghosts'"):
+            db.add_column("ghosts", "age", "integer")
+
+    def test_nothing_was_journaled(self, db):
+        version = db.version
+        events = len(db.journal)
+        with pytest.raises(KeyError):
+            db.add_column("ghosts", "age", "integer")
+        assert db.version == version
+        assert len(db.journal) == events
+
+
+class TestInsertIdValidation:
+    @pytest.mark.parametrize("bad_id", ["7", 7.5, True, None, [7]])
+    def test_non_integer_ids_rejected(self, db, bad_id):
+        with pytest.raises(InvalidRowIdError) as excinfo:
+            db.insert("users", {"id": bad_id, "username": "x"})
+        assert excinfo.value.table == "users"
+        assert excinfo.value.value == bad_id
+
+    def test_rejected_insert_leaves_no_partial_state(self, db):
+        db.insert("users", {"username": "a"})
+        with pytest.raises(InvalidRowIdError):
+            db.insert("users", {"id": "oops", "username": "x"})
+        assert [r["username"] for r in db.all_rows("users")] == ["a"]
+        # id assignment continues unperturbed
+        assert db.insert("users", {"username": "b"})["id"] == 2
+
+    def test_explicit_integer_ids_still_work(self, db):
+        db.insert("users", {"id": 9, "username": "a"})
+        assert db.insert("users", {"username": "b"})["id"] == 10

@@ -1,0 +1,99 @@
+"""SQL three-valued logic for NULL comparisons (regression).
+
+``_compare`` used Python equality for ``=`` / ``<>``, so ``NULL = NULL``
+evaluated true — silently diverging from every real SQL engine (a
+comparison with NULL is NULL, which is not-true; ``IS NULL`` is the only
+null test).  These tests pin the fixed semantics, and one cross-checks the
+evaluator row-for-row against the real sqlite engine.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro import Database
+from repro.sqltc import eval_where_fragment
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.create_table("topics", title="string", views="integer")
+    d.insert("topics", {"title": "welcome", "views": 10})
+    d.insert("topics", {"views": 3})  # title is NULL
+    return d
+
+
+def _rows(db):
+    return db.all_rows("topics")
+
+
+class TestNullComparisons:
+    def test_null_equals_null_is_not_true(self, db):
+        null_row = _rows(db)[1]
+        assert not eval_where_fragment(
+            db, "topics", [], "title = ?", (None,), null_row)
+
+    def test_null_not_equals_null_is_not_true(self, db):
+        null_row = _rows(db)[1]
+        assert not eval_where_fragment(
+            db, "topics", [], "title <> ?", (None,), null_row)
+
+    def test_null_column_never_equals_a_value(self, db):
+        null_row = _rows(db)[1]
+        assert not eval_where_fragment(
+            db, "topics", [], "title = 'welcome'", (), null_row)
+
+    def test_null_column_not_equal_a_value_is_still_not_true(self, db):
+        # SQL: NULL <> 'welcome' is NULL, i.e. the row is filtered out
+        null_row = _rows(db)[1]
+        assert not eval_where_fragment(
+            db, "topics", [], "title <> 'welcome'", (), null_row)
+
+    def test_value_vs_null_placeholder(self, db):
+        welcome = _rows(db)[0]
+        assert not eval_where_fragment(
+            db, "topics", [], "title = ?", (None,), welcome)
+        assert not eval_where_fragment(
+            db, "topics", [], "title <> ?", (None,), welcome)
+
+    def test_non_null_comparisons_unchanged(self, db):
+        welcome = _rows(db)[0]
+        assert eval_where_fragment(
+            db, "topics", [], "title = 'welcome'", (), welcome)
+        assert not eval_where_fragment(
+            db, "topics", [], "title <> 'welcome'", (), welcome)
+
+    def test_is_null_remains_the_null_test(self, db):
+        welcome, null_row = _rows(db)
+        assert eval_where_fragment(
+            db, "topics", [], "title IS NULL", (), null_row)
+        assert not eval_where_fragment(
+            db, "topics", [], "title IS NULL", (), welcome)
+        assert eval_where_fragment(
+            db, "topics", [], "title IS NOT NULL", (), welcome)
+
+    @pytest.mark.parametrize("fragment, args", [
+        ("title = ?", (None,)),
+        ("title <> ?", (None,)),
+        ("title = 'welcome'", ()),
+        ("title <> 'welcome'", ()),
+        ("views > ?", (None,)),
+        ("title IS NULL", ()),
+        ("title IS NOT NULL", ()),
+    ])
+    def test_evaluator_agrees_with_real_sqlite(self, db, fragment, args):
+        """The evaluator's verdicts match sqlite's row-for-row."""
+        conn = sqlite3.connect(":memory:")
+        conn.execute("CREATE TABLE topics (id INTEGER, title VARCHAR, "
+                     "views INTEGER)")
+        for row in _rows(db):
+            conn.execute(
+                "INSERT INTO topics (id, title, views) VALUES (?, ?, ?)",
+                [row.get("id"), row.get("title"), row.get("views")])
+        sql_ids = {row_id for (row_id,) in conn.execute(
+            f"SELECT id FROM topics WHERE {fragment}", list(args))}
+        eval_ids = {row["id"] for row in _rows(db)
+                    if eval_where_fragment(db, "topics", [], fragment,
+                                           args, row)}
+        assert eval_ids == sql_ids
