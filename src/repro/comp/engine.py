@@ -22,15 +22,8 @@ from repro.incremental.cache import AstCache, CompEvalCache, binding_key
 from repro.incremental.deps import DependencyTracker
 from repro.incremental.stats import IncrementalStats
 from repro.lang.parser import parse_program
-from repro.rtypes import (
-    CompExpr,
-    ConstStringType,
-    FiniteHashType,
-    GenericType,
-    RType,
-    TupleType,
-    UnionType,
-)
+from repro.rtypes import CompExpr, RType
+from repro.rtypes.intern import fresh_copy
 from repro.runtime.errors import RubyError
 from repro.runtime.interp import Env, Frame, RaiseSignal
 from repro.typecheck.errors import StaticTypeError
@@ -129,7 +122,7 @@ class CompEngine:
                       defining_class=self.interp.classes["Object"])
         with self.deps.capture() as scope:
             try:
-                result = self.interp.eval_body(program.body, frame)
+                result = self.interp.execute_program(program, frame)
             except RaiseSignal as sig:
                 raise self._comp_error(
                     f"comp type evaluation raised {sig.exc.rclass.name}: "
@@ -167,21 +160,6 @@ def _fresh(value: RType) -> RType:
     Weak updates widen tuples / finite hashes / const strings *in place*
     (including elements nested inside containers, e.g. ``promote()`` on a
     const string held by a tuple), so distinct call sites must never alias
-    one cache entry.  Immutable leaves are shared as-is."""
-    if isinstance(value, TupleType):
-        return TupleType([_fresh(t) for t in value.elts])
-    if isinstance(value, FiniteHashType):
-        return FiniteHashType({k: _fresh(t) for k, t in value.elts.items()},
-                              rest=value.rest,
-                              optional_keys=set(value.optional_keys))
-    if isinstance(value, ConstStringType):
-        copy = ConstStringType(value.value)
-        copy.is_promoted = value.is_promoted
-        return copy
-    if isinstance(value, GenericType):
-        return GenericType(value.base, [_fresh(t) for t in value.params])
-    if isinstance(value, UnionType):
-        from repro.rtypes import make_union
-
-        return make_union([_fresh(t) for t in value.types])
-    return value
+    one cache entry.  Immutable subtrees are shared as-is — that is
+    :func:`repro.rtypes.intern.fresh_copy`."""
+    return fresh_copy(value)

@@ -43,7 +43,9 @@ def to_rtype(interp, value: object) -> RType:
     if isinstance(value, RType):
         return value
     if isinstance(value, RClass):
-        return NominalType(value.name)
+        from repro.rtypes.intern import intern
+
+        return intern(NominalType(value.name))
     if isinstance(value, RHash):
         return FiniteHashType(
             {_fh_key(k): to_rtype(interp, v) for k, v in value.pairs()}

@@ -25,11 +25,19 @@ from dataclasses import dataclass
 
 from repro.incremental.stats import IncrementalStats
 from repro.incremental.versioning import SchemaJournal, affects
+from repro.rtypes.intern import fingerprint
 
 
 def binding_key(bindings: dict) -> tuple:
-    """A hashable key for a comp binding environment (``tself`` + type vars)."""
-    return tuple(sorted((name, t.to_s()) for name, t in bindings.items()))
+    """A hashable key for a comp binding environment (``tself`` + type vars).
+
+    Keys on interned type fingerprints — process-stable integers that
+    identify each binding's *current* structure — instead of rendering
+    ``to_s()`` strings.  Two environments get the same key exactly when
+    every binding is structurally identical, as before, but a key costs a
+    few dict lookups instead of string formatting, and compares as ints.
+    """
+    return tuple(sorted((name, fingerprint(t)) for name, t in bindings.items()))
 
 
 @dataclass

@@ -9,6 +9,16 @@ nodes because they are control flow, not method calls.
 Every node has a ``line`` for error reporting, and ``MethodCall`` nodes have
 a stable ``node_id`` so the type checker can attach dynamic-check metadata
 that the interpreter later consults (the rewriting step of §3.2).
+
+Nodes are slotted (``@dataclass(slots=True)``) — they are allocated in bulk
+by the parser and traversed constantly by the checker and both interpreter
+backends, so the per-instance dict is pure overhead.  The ``compiled`` slot
+is a cache used by the closure-compilation backend
+(:mod:`repro.runtime.compile`): the closure lowered for a body-owning node
+(``Program``, ``MethodDef``, ``BlockNode``, …) is stored on the node itself,
+so a parse-cached AST shared by many universes is compiled exactly once.
+Compiled closures are interpreter-agnostic (they take the VM as an
+argument), which is what makes that sharing safe.
 """
 
 from __future__ import annotations
@@ -25,48 +35,50 @@ def fresh_node_id() -> int:
     return next(_NODE_COUNTER)
 
 
-@dataclass
+@dataclass(slots=True)
 class Node:
     """Base class for all AST nodes."""
 
     line: int = field(default=0, kw_only=True)
+    # cache slot for the closure-compiled form of this node (see module doc)
+    compiled: object = field(default=None, kw_only=True, compare=False, repr=False)
 
 
 # ---------------------------------------------------------------------------
 # Literals and simple expressions
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class NilLit(Node):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class TrueLit(Node):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class FalseLit(Node):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class IntLit(Node):
     value: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class FloatLit(Node):
     value: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class StrLit(Node):
     value: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class StrInterp(Node):
     """A double-quoted string with ``#{}`` interpolation.
 
@@ -76,51 +88,51 @@ class StrInterp(Node):
     parts: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class SymLit(Node):
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class ArrayLit(Node):
     elements: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class HashLit(Node):
     """A hash literal; ``pairs`` is a list of (key_node, value_node)."""
 
     pairs: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class RangeLit(Node):
     low: Node = None
     high: Node = None
     exclusive: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class SelfExpr(Node):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class LocalVar(Node):
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class IVar(Node):
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class GVar(Node):
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class ConstRef(Node):
     """A constant reference: a class name or a plain constant."""
 
@@ -131,7 +143,7 @@ class ConstRef(Node):
 # Calls and blocks
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class BlockNode(Node):
     """A code block ``{ |params| body }`` or ``do |params| body end``."""
 
@@ -139,7 +151,7 @@ class BlockNode(Node):
     body: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class MethodCall(Node):
     """``receiver.name(args) { block }``; receiver None means a self-call."""
 
@@ -151,29 +163,29 @@ class MethodCall(Node):
     node_id: int = field(default_factory=fresh_node_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class Yield(Node):
     args: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class AndOp(Node):
     left: Node = None
     right: Node = None
 
 
-@dataclass
+@dataclass(slots=True)
 class OrOp(Node):
     left: Node = None
     right: Node = None
 
 
-@dataclass
+@dataclass(slots=True)
 class NotOp(Node):
     operand: Node = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Defined(Node):
     """``defined?(expr)`` — used by apps to probe constants."""
 
@@ -184,7 +196,7 @@ class Defined(Node):
 # Assignment
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class Assign(Node):
     """Assignment to a local/ivar/gvar/const target."""
 
@@ -192,7 +204,7 @@ class Assign(Node):
     value: Node = None
 
 
-@dataclass
+@dataclass(slots=True)
 class MultiAssign(Node):
     """``a, b = e1, e2`` (parallel assignment)."""
 
@@ -200,7 +212,7 @@ class MultiAssign(Node):
     values: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class IndexAssign(Node):
     """``recv[args] = value`` — desugars to ``recv.[]=(args..., value)``
     but keeps its own node so the checker can do weak updates."""
@@ -211,7 +223,7 @@ class IndexAssign(Node):
     node_id: int = field(default_factory=fresh_node_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class AttrAssign(Node):
     """``recv.name = value`` — a call to the ``name=`` setter."""
 
@@ -221,7 +233,7 @@ class AttrAssign(Node):
     node_id: int = field(default_factory=fresh_node_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class OpAssign(Node):
     """``target op= value`` for ``||=``/``&&=`` (short-circuit semantics)."""
 
@@ -234,21 +246,21 @@ class OpAssign(Node):
 # Control flow and definitions
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class If(Node):
     cond: Node = None
     then_body: list = field(default_factory=list)
     else_body: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class While(Node):
     cond: Node = None
     body: list = field(default_factory=list)
     is_until: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class CaseWhen(Node):
     """One ``when values then body`` arm of a case expression."""
 
@@ -256,29 +268,29 @@ class CaseWhen(Node):
     body: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Case(Node):
     subject: Optional[Node] = None
     whens: list = field(default_factory=list)
     else_body: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Return(Node):
     value: Optional[Node] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Break(Node):
     value: Optional[Node] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Next(Node):
     value: Optional[Node] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Param(Node):
     """A method/block parameter, optionally with a default expression."""
 
@@ -288,7 +300,7 @@ class Param(Node):
     is_splat: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class MethodDef(Node):
     """``def name(params) body end``; ``is_self`` marks ``def self.name``."""
 
@@ -298,20 +310,20 @@ class MethodDef(Node):
     is_self: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ClassDef(Node):
     name: str = ""
     superclass: Optional[str] = None
     body: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class ModuleDef(Node):
     name: str = ""
     body: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class BeginRescue(Node):
     """``begin body rescue [Class =>] var; handler end`` (single clause)."""
 
@@ -322,11 +334,11 @@ class BeginRescue(Node):
     ensure_body: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Raise(Node):
     args: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Program(Node):
     body: list = field(default_factory=list)

@@ -17,6 +17,8 @@ Notable Ruby behaviours reproduced:
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.lang import ast_nodes as ast
 from repro.lang.errors import ParseError
 from repro.lang.lexer import Lexer, Token
@@ -42,10 +44,35 @@ _DEF_OP_NAMES = (
 )
 
 
-def parse_program(source: str) -> ast.Program:
-    """Parse mini-Ruby source text into a :class:`repro.lang.ast_nodes.Program`."""
+# Content-keyed cache of parsed programs.  Subject-app sources are parsed
+# once per process, not once per universe: every `SubjectApp.build` and every
+# parallel-worker round rebuilds its universe pristine, but the *parse* of
+# identical source is pure and therefore shareable.  The AST is read-only
+# after parsing (the checker keys its dynamic-check table on `node_id`, per
+# interpreter, and the closure compiler caches on the `compiled` slot with
+# interpreter-agnostic closures), so returning one shared Program is safe.
+_PROGRAM_CACHE: OrderedDict[str, ast.Program] = OrderedDict()
+_PROGRAM_CACHE_MAX = 256
+
+
+def parse_program(source: str, use_cache: bool = True) -> ast.Program:
+    """Parse mini-Ruby source text into a :class:`repro.lang.ast_nodes.Program`.
+
+    Identical source returns the same (shared, read-only) ``Program`` object;
+    pass ``use_cache=False`` to force a fresh parse with fresh node ids.
+    """
+    if use_cache:
+        program = _PROGRAM_CACHE.get(source)
+        if program is not None:
+            _PROGRAM_CACHE.move_to_end(source)
+            return program
     tokens = Lexer(source).tokenize()
-    return _Parser(tokens).parse()
+    program = _Parser(tokens).parse()
+    if use_cache:
+        _PROGRAM_CACHE[source] = program
+        while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAX:
+            _PROGRAM_CACHE.popitem(last=False)
+    return program
 
 
 class _Scope:

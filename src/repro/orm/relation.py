@@ -103,17 +103,19 @@ class RelationValue:
 
         Memoized per (relation shape, expected schema's *structural* form,
         db generation) — the same checked call site produces the same
-        shapes every iteration, and a hit costs one repr of the expected
-        type, not a rebuild of the joined schema.  Never key on
-        ``id(schema_type)``: type objects are garbage-collected between
-        checks, and a recycled id would replay a stale verdict for a
-        differently-shaped type.
+        shapes every iteration, and a hit costs one structural fingerprint
+        of the expected type, not a rebuild of the joined schema.  The
+        fingerprint (:func:`repro.rtypes.intern.fingerprint`) is an interned
+        id for the type's *current* structure — never recycled, unlike
+        ``id(schema_type)``, so a GC'd-and-reallocated type object can never
+        replay a stale verdict for a differently-shaped type.
         """
         from repro.rtypes import subtype
+        from repro.rtypes.intern import fingerprint
 
         if not isinstance(schema_type, FiniteHashType):
             return True
-        key = (self.base_table, self.joins, repr(schema_type),
+        key = (self.base_table, self.joins, fingerprint(schema_type),
                getattr(self.db, "version", 0))
         cached = _TABLE_CHECK_CACHE.get(key)
         if cached is not None:

@@ -23,6 +23,7 @@ verdict-parity merge).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.lang import ast_nodes as ast
@@ -47,7 +48,10 @@ def comp_site_count(node) -> int:
         if isinstance(current, ast.MethodCall):
             count += 1
         if isinstance(current, ast.Node):
-            stack.extend(vars(current).values())
+            # AST nodes are slotted dataclasses — walk their declared fields
+            stack.extend(getattr(current, field.name)
+                         for field in dataclasses.fields(current)
+                         if field.name != "compiled")
         elif isinstance(current, list):
             stack.extend(current)
         elif isinstance(current, tuple):

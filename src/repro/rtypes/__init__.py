@@ -35,6 +35,13 @@ from repro.rtypes.methods import (
     VarargArg,
 )
 from repro.rtypes.vars import VarType
+from repro.rtypes.intern import (
+    fingerprint,
+    fresh_copy,
+    intern,
+    interned_count,
+    try_intern,
+)
 from repro.rtypes.hierarchy import ClassHierarchy, default_hierarchy
 from repro.rtypes.subtype import ConstraintLog, join, subtype
 from repro.rtypes.instantiate import instantiate, unify_args
@@ -63,9 +70,14 @@ __all__ = [
     "VarType",
     "VarargArg",
     "default_hierarchy",
+    "fingerprint",
+    "fresh_copy",
     "instantiate",
+    "intern",
+    "interned_count",
     "join",
     "make_union",
+    "try_intern",
     "parse_method_type",
     "parse_type",
     "subtype",

@@ -26,10 +26,14 @@ class GenericType(RType):
     __slots__ = ("base", "params")
 
     def __init__(self, base: str, params: Sequence[RType]):
+        super().__init__()
         self.base = base
         self.params = tuple(params)
 
     def _key(self) -> object:
+        return (self.base, self.params)
+
+    def _intern_args(self) -> tuple:
         return (self.base, self.params)
 
     def to_s(self) -> str:
@@ -49,6 +53,7 @@ class _MutableType(RType):
     __slots__ = ("constraint_log",)
 
     def __init__(self) -> None:
+        super().__init__()
         self.constraint_log: list[tuple[str, RType]] = []
 
     def __hash__(self) -> int:

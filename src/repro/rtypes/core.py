@@ -18,7 +18,23 @@ class RType:
     the same set of values.  The mutable container types (tuples, finite
     hashes, const strings) override identity-sensitive behaviour to support
     the paper's weak updates (§4), but still compare structurally.
+
+    Immutable types are **hash-consed** (:mod:`repro.rtypes.intern`):
+    interning makes structurally-equal types pointer-equal, which turns the
+    hot ``__eq__``/``__hash__`` paths into identity checks — the hash is
+    computed once and cached in ``_hash``, and two distinct *interned*
+    objects are unequal by construction, so their comparison never recurses
+    into the structural key.  Mutable types (tuples, finite hashes, const
+    strings) are never interned: their structure changes under weak updates,
+    so they always compare structurally (and hash by class, as before).
     """
+
+    __slots__ = ("_hash", "_interned", "_fp")
+
+    def __init__(self) -> None:
+        self._hash = -1
+        self._interned = False
+        self._fp = -1
 
     def to_s(self) -> str:
         """Render the type in RDL's surface syntax."""
@@ -37,12 +53,55 @@ class RType:
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
-        if not isinstance(other, RType):
-            return NotImplemented
-        return type(self) is type(other) and self._key() == other._key()
+        if other.__class__ is not self.__class__:
+            if not isinstance(other, RType):
+                return NotImplemented
+            return False
+        if self._interned and other._interned:
+            # interned types are canonical: equal structure => same object
+            return False
+        return self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._key()))
+        h = self._hash
+        if h != -1:
+            return h
+        h = hash((type(self).__name__, self._key()))
+        if h == -1:  # reserved as the "not yet computed" sentinel
+            h = -2
+        self._hash = h
+        return h
+
+    def __reduce_ex__(self, protocol):
+        # Interned instances must re-intern when unpickled (e.g. when the
+        # parallel fleet ships verdicts between processes): a plain state
+        # round-trip would resurrect `_interned = True` duplicates, breaking
+        # the identity-equality invariant above.
+        if self._interned:
+            from repro.rtypes.intern import _reintern
+
+            return (_reintern, (type(self).__name__, self._intern_args()))
+        return super().__reduce_ex__(protocol)
+
+    def __getstate__(self):
+        # Non-interned pickling path: scrub the cached hash and fingerprint.
+        # `_hash` depends on PYTHONHASHSEED, so a value cached in one
+        # process is wrong in a spawn-mode worker (equal types with unequal
+        # hashes corrupt any hash container); `_fp` indexes this process's
+        # fingerprint table.  Both recompute lazily on first use.
+        state: dict[str, object] = {}
+        for cls in type(self).__mro__:
+            for name in getattr(cls, "__slots__", ()):
+                if hasattr(self, name):
+                    state[name] = getattr(self, name)
+        state["_hash"] = -1
+        state["_fp"] = -1
+        return (None, state)
+
+    def _intern_args(self) -> tuple:
+        """Constructor arguments for rebuilding this (interned) type."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support interning")
 
     def is_comp(self) -> bool:
         """Whether the type (or a component of it) is a comp expression."""
@@ -59,10 +118,14 @@ class NominalType(RType):
     __slots__ = ("name",)
 
     def __init__(self, name: str):
+        super().__init__()
         self.name = name
 
     def _key(self) -> object:
         return self.name
+
+    def _intern_args(self) -> tuple:
+        return (self.name,)
 
     def to_s(self) -> str:
         return self.name
@@ -79,12 +142,16 @@ class SingletonType(RType):
     __slots__ = ("value", "base_name")
 
     def __init__(self, value: object):
+        super().__init__()
         self.value = value
         self.base_name = singleton_base_class(value)
 
     def _key(self) -> object:
         # bool is an int subtype in Python: disambiguate True from 1.
         return (type(self.value).__name__, self.value)
+
+    def _intern_args(self) -> tuple:
+        return (self.value,)
 
     def to_s(self) -> str:
         if self.value is None:
@@ -104,6 +171,9 @@ class AnyType(RType):
     def _key(self) -> object:
         return ()
 
+    def _intern_args(self) -> tuple:
+        return ()
+
     def to_s(self) -> str:
         return "%any"
 
@@ -114,6 +184,9 @@ class BotType(RType):
     __slots__ = ()
 
     def _key(self) -> object:
+        return ()
+
+    def _intern_args(self) -> tuple:
         return ()
 
     def to_s(self) -> str:
@@ -130,12 +203,16 @@ class UnionType(RType):
     __slots__ = ("types",)
 
     def __init__(self, types: tuple[RType, ...]):
+        super().__init__()
         if len(types) < 2:
             raise ValueError("a union needs at least two member types")
         self.types = types
 
     def _key(self) -> object:
         return frozenset(self.types)
+
+    def _intern_args(self) -> tuple:
+        return (self.types,)
 
     def to_s(self) -> str:
         return " or ".join(t.to_s() for t in self.types)

@@ -12,10 +12,21 @@ from __future__ import annotations
 
 
 class ClassHierarchy:
-    """A registry of classes and their superclasses."""
+    """A registry of classes and their superclasses.
+
+    ``le`` queries are memoized per hierarchy (``_le_cache``), and the
+    subtyping relation keeps an identity-keyed memo for *interned* type
+    pairs here too (``subtype_memo`` — owned by this class because its
+    entries are only valid against one hierarchy's ancestor tables).  Both
+    caches are dropped whenever the hierarchy gains a class.
+    """
 
     def __init__(self) -> None:
         self._superclass: dict[str, str | None] = {"Object": None}
+        self._le_cache: dict[tuple[str, str], bool] = {}
+        # (id(s), id(t)) -> bool for interned (hence immortal, immutable)
+        # type objects; see repro.rtypes.subtype
+        self.subtype_memo: dict[tuple[int, int], bool] = {}
 
     def add_class(self, name: str, superclass: str = "Object") -> None:
         """Register ``name`` with the given superclass (default ``Object``)."""
@@ -27,6 +38,10 @@ class ClassHierarchy:
                 f"class {name} already registered with superclass {existing}"
             )
         self._superclass[name] = superclass
+        if self._le_cache:
+            self._le_cache.clear()
+        if self.subtype_memo:
+            self.subtype_memo.clear()
         if superclass not in self._superclass:
             self._superclass[superclass] = "Object"
 
@@ -53,11 +68,16 @@ class ClassHierarchy:
 
     def le(self, sub: str, sup: str) -> bool:
         """Nominal subtyping: is ``sub`` the same as or a subclass of ``sup``?"""
-        if sup == "Object":
+        if sub == sup or sup == "Object":
             return True
         if sub == "NilClass":
             return True
-        return sup in self.ancestors(sub)
+        key = (sub, sup)
+        cached = self._le_cache.get(key)
+        if cached is None:
+            cached = sup in self.ancestors(sub)
+            self._le_cache[key] = cached
+        return cached
 
     def lub(self, a: str, b: str) -> str:
         """The least common ancestor of two classes."""

@@ -26,10 +26,14 @@ class CompExpr(RType):
     __slots__ = ("code", "bound")
 
     def __init__(self, code: str, bound: RType | None = None):
+        super().__init__()
         self.code = code.strip()
         self.bound = bound if bound is not None else NominalType("Object")
 
     def _key(self) -> object:
+        return (self.code, self.bound)
+
+    def _intern_args(self) -> tuple:
         return (self.code, self.bound)
 
     def to_s(self) -> str:
@@ -50,10 +54,14 @@ class BoundArg(RType):
     __slots__ = ("var", "bound")
 
     def __init__(self, var: str, bound: RType):
+        super().__init__()
         self.var = var
         self.bound = bound
 
     def _key(self) -> object:
+        return (self.var, self.bound)
+
+    def _intern_args(self) -> tuple:
         return (self.var, self.bound)
 
     def to_s(self) -> str:
@@ -69,10 +77,14 @@ class OptionalArg(RType):
     __slots__ = ("inner",)
 
     def __init__(self, inner: RType):
+        super().__init__()
         self.inner = inner
 
     def _key(self) -> object:
         return self.inner
+
+    def _intern_args(self) -> tuple:
+        return (self.inner,)
 
     def to_s(self) -> str:
         return f"?{self.inner.to_s()}"
@@ -87,10 +99,14 @@ class VarargArg(RType):
     __slots__ = ("inner",)
 
     def __init__(self, inner: RType):
+        super().__init__()
         self.inner = inner
 
     def _key(self) -> object:
         return self.inner
+
+    def _intern_args(self) -> tuple:
+        return (self.inner,)
 
     def to_s(self) -> str:
         return f"*{self.inner.to_s()}"
@@ -110,11 +126,15 @@ class MethodType(RType):
         block: "MethodType | None",
         ret: RType,
     ):
+        super().__init__()
         self.args = list(args)
         self.block = block
         self.ret = ret
 
     def _key(self) -> object:
+        return (tuple(self.args), self.block, self.ret)
+
+    def _intern_args(self) -> tuple:
         return (tuple(self.args), self.block, self.ret)
 
     def to_s(self) -> str:

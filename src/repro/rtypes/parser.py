@@ -23,6 +23,7 @@ from repro.rtypes.containers import (
     TupleType,
 )
 from repro.rtypes.core import AnyType, BotType, NominalType, RType, SingletonType, make_union
+from repro.rtypes.intern import fresh_copy, try_intern
 from repro.rtypes.kinds import Sym
 from repro.rtypes.methods import BoundArg, CompExpr, MethodType, OptionalArg, VarargArg
 from repro.rtypes.vars import VarType
@@ -364,8 +365,37 @@ class _Parser:
         return TupleType(elts)
 
 
-def parse_method_type(text: str) -> MethodType:
-    """Parse a full method signature string into a :class:`MethodType`."""
+# Content-keyed caches of parsed signatures/types.  Every universe installs
+# the same ~4k library annotation strings, and profiling shows signature
+# parsing dominating cold universe construction.  Parsing is pure, so the
+# result is cacheable — with one subtlety: signatures containing *mutable*
+# types (tuples, finite hashes, const strings) are subject to weak updates
+# (§4), so cache hits hand out a `fresh_copy` (private mutable spine, shared
+# immutable leaves).  Fully-immutable signatures intern to one canonical
+# object shared by every universe in the process.
+_METHOD_TYPE_CACHE: dict[str, tuple[MethodType, bool]] = {}
+_TYPE_CACHE: dict[str, tuple[RType, bool]] = {}
+_PARSE_CACHE_MAX = 16384
+
+
+def _cached_parse(text: str, cache: dict, produce):
+    entry = cache.get(text)
+    if entry is not None:
+        result, shared = entry
+        return result if shared else fresh_copy(result)
+    result = produce(text)
+    canonical = try_intern(result)
+    if len(cache) >= _PARSE_CACHE_MAX:
+        cache.clear()
+    if canonical is not None:
+        cache[text] = (canonical, True)
+        return canonical
+    cache[text] = (result, False)
+    # the first caller must not alias the cached pristine copy either
+    return fresh_copy(result)
+
+
+def _parse_method_type_uncached(text: str) -> MethodType:
     parser = _Parser(text)
     result = parser.method_type()
     if not parser.at_end():
@@ -373,10 +403,19 @@ def parse_method_type(text: str) -> MethodType:
     return result
 
 
-def parse_type(text: str) -> RType:
-    """Parse a standalone type (no argument list / arrow)."""
+def _parse_type_uncached(text: str) -> RType:
     parser = _Parser(text)
     result = parser.type_or_comp()
     if not parser.at_end():
         raise TypeParseError(f"trailing tokens after type in {text!r}")
     return result
+
+
+def parse_method_type(text: str) -> MethodType:
+    """Parse a full method signature string into a :class:`MethodType`."""
+    return _cached_parse(text, _METHOD_TYPE_CACHE, _parse_method_type_uncached)
+
+
+def parse_type(text: str) -> RType:
+    """Parse a standalone type (no argument list / arrow)."""
+    return _cached_parse(text, _TYPE_CACHE, _parse_type_uncached)

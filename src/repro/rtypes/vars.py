@@ -18,10 +18,14 @@ class VarType(RType):
     __slots__ = ("name",)
 
     def __init__(self, name: str):
+        super().__init__()
         self.name = name
 
     def _key(self) -> object:
         return self.name
+
+    def _intern_args(self) -> tuple:
+        return (self.name,)
 
     def to_s(self) -> str:
         return self.name

@@ -195,10 +195,10 @@ def _index(i, recv, args, block):
     from repro.runtime.interp import RRange
 
     if isinstance(first, RRange):
-        values = first.values()
-        if not values:
+        span = first.span()
+        if not span:
             return RArray([])
-        return RArray(items[values[0]:values[-1] + 1])
+        return RArray(items[span.start:span[-1] + 1])
     start = as_int(first)
     if len(args) >= 2:
         length = as_int(args[1])

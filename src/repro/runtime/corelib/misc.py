@@ -36,8 +36,11 @@ def install_misc(interp) -> None:
             raise RubyError("TypeError", "Range method on non-range")
         return recv
 
-    native(range_class, "to_a", lambda i, r, a, b: RArray(_r(r).values()))
-    native(range_class, "to_ary", lambda i, r, a, b: RArray(_r(r).values()))
+    # Membership and the bound/size queries are O(1) (RRange.includes /
+    # span / size / sum); only an explicit to_a materializes the elements,
+    # and iteration walks the lazy span without ever building a list.
+    native(range_class, "to_a", lambda i, r, a, b: RArray(_r(r).span()))
+    native(range_class, "to_ary", lambda i, r, a, b: RArray(_r(r).span()))
     native(range_class, "include?", lambda i, r, a, b: _r(r).includes(arg_or(a, 0)))
     native(range_class, "cover?", lambda i, r, a, b: _r(r).includes(arg_or(a, 0)))
     native(range_class, "member?", lambda i, r, a, b: _r(r).includes(arg_or(a, 0)))
@@ -45,17 +48,25 @@ def install_misc(interp) -> None:
     native(range_class, "begin", lambda i, r, a, b: _r(r).low)
     native(range_class, "last", lambda i, r, a, b: _r(r).high)
     native(range_class, "end", lambda i, r, a, b: _r(r).high)
-    native(range_class, "min", lambda i, r, a, b: min(_r(r).values(), default=None))
-    native(range_class, "max", lambda i, r, a, b: max(_r(r).values(), default=None))
-    native(range_class, "size", lambda i, r, a, b: len(_r(r).values()))
-    native(range_class, "count", lambda i, r, a, b: len(_r(r).values()))
-    native(range_class, "sum", lambda i, r, a, b: sum(_r(r).values()))
+    def range_min(i, recv, args, block):
+        span = _r(recv).span()
+        return span.start if span else None
+
+    def range_max(i, recv, args, block):
+        span = _r(recv).span()
+        return span[-1] if span else None
+
+    native(range_class, "min", range_min)
+    native(range_class, "max", range_max)
+    native(range_class, "size", lambda i, r, a, b: _r(r).size())
+    native(range_class, "count", lambda i, r, a, b: _r(r).size())
+    native(range_class, "sum", lambda i, r, a, b: _r(r).sum())
 
     def range_each(i, recv, args, block):
         if block is None:
             return recv
         try:
-            for value in _r(recv).values():
+            for value in _r(recv).span():
                 call_block(i, block, [value])
         except BreakSignal as brk:
             return brk.value
@@ -65,7 +76,7 @@ def install_misc(interp) -> None:
 
     def range_map(i, recv, args, block):
         try:
-            return RArray([call_block(i, block, [v]) for v in _r(recv).values()])
+            return RArray([call_block(i, block, [v]) for v in _r(recv).span()])
         except BreakSignal as brk:
             return brk.value
 
@@ -74,7 +85,7 @@ def install_misc(interp) -> None:
 
     def range_select(i, recv, args, block):
         truthy = lambda v: v is not None and v is not False
-        return RArray([v for v in _r(recv).values() if truthy(call_block(i, block, [v]))])
+        return RArray([v for v in _r(recv).span() if truthy(call_block(i, block, [v]))])
 
     native(range_class, "select", range_select)
 

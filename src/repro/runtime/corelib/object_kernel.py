@@ -245,12 +245,16 @@ def install_object_kernel(interp) -> None:
             raise RubyError("TypeError", "new on non-class")
         return i.new_instance(recv, list(args), block, 0)
 
-    obj.smethods["new"] = RMethod("new", native=class_new)
-    obj.smethods["name"] = RMethod("name", native=lambda i, r, a, b: RString(r.name))
-    obj.smethods["to_s"] = RMethod("to_s", native=lambda i, r, a, b: RString(r.name))
-    obj.smethods["superclass"] = RMethod(
-        "superclass", native=lambda i, r, a, b: r.superclass
-    )
+    # define() (not a raw smethods write) so the method-table epoch bumps
+    # and the lookup/inline caches invalidate
+    obj.define("new", RMethod("new", native=class_new), static=True)
+    obj.define("name", RMethod("name", native=lambda i, r, a, b: RString(r.name)),
+               static=True)
+    obj.define("to_s", RMethod("to_s", native=lambda i, r, a, b: RString(r.name)),
+               static=True)
+    obj.define("superclass",
+               RMethod("superclass", native=lambda i, r, a, b: r.superclass),
+               static=True)
 
     # Exception instance methods
     exc = interp.classes["Exception"]

@@ -8,9 +8,26 @@ dynamic checks that CompRDL's rewriting step attaches to call sites: when
 ``checks_enabled`` is set, a call whose ``node_id`` appears in
 ``check_table`` re-validates its comp type and checks the returned value,
 raising :class:`repro.runtime.errors.Blame` on failure (§3.2's ⌈A⌉e.m(e)).
+
+Two execution backends share this VM:
+
+* the **tree walker** below (``eval_*`` methods) — the reference semantics;
+* the **closure compiler** (:mod:`repro.runtime.compile`) — lowers each AST
+  node once into a Python closure so steady-state evaluation is direct
+  calls through precompiled closure trees.
+
+The backend is selected per ``Interp`` via ``mode`` (default ``compiled``;
+set ``REPRO_INTERP=tree`` to force the tree walker).  Both backends share
+dispatch (``call_method``/``_dispatch``/``invoke``), the corelib, the
+object model, and the dynamic-check table, so results, Blame messages and
+dependency footprints are identical — `tests/runtime/test_compile_parity.py`
+asserts exactly that.
 """
 
 from __future__ import annotations
+
+import os
+import weakref
 
 from typing import Optional
 
@@ -119,7 +136,12 @@ def _as_assign_target(target: ast.Node) -> ast.Node:
 
 
 class RRange:
-    """A minimal Range object (supports each/to_a/include?/case-===)."""
+    """A minimal Range object (supports each/to_a/include?/case-===).
+
+    Membership (`includes`) and the bound/size queries are O(1); iteration
+    goes through :meth:`span`, a lazy Python ``range`` — nothing ever
+    materializes the element list except an explicit ``to_a``.
+    """
 
     __slots__ = ("low", "high", "exclusive")
 
@@ -128,9 +150,20 @@ class RRange:
         self.high = high
         self.exclusive = exclusive
 
+    def span(self) -> range:
+        """The elements as a lazy ``range`` (O(1) len/bounds/emptiness)."""
+        return range(self.low, self.high + (0 if self.exclusive else 1))
+
     def values(self) -> list[int]:
-        high = self.high if not self.exclusive else self.high - 1
-        return list(range(self.low, high + 1))
+        return list(self.span())
+
+    def size(self) -> int:
+        return len(self.span())
+
+    def sum(self) -> int:
+        span = self.span()
+        n = len(span)
+        return (span.start + span[-1]) * n // 2 if n else 0
 
     def includes(self, value: object) -> bool:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -154,7 +187,16 @@ class Interp:
       relations) to participate in method dispatch.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, mode: str | None = None) -> None:
+        mode = mode or os.environ.get("REPRO_INTERP", "compiled")
+        if mode not in ("compiled", "tree"):
+            raise ValueError(f"unknown interpreter mode {mode!r} "
+                             "(expected 'compiled' or 'tree')")
+        self.mode = mode
+        self._compiled = mode == "compiled"
+        # one reusable weakref for the compiled backend's call-site caches
+        # (they must not strongly pin this interpreter; see compile.py)
+        self.weak_self = weakref.ref(self)
         self.classes: dict[str, RClass] = {}
         self.consts: dict[str, object] = {}
         self.globals: dict[str, object] = {}
@@ -164,6 +206,9 @@ class Interp:
         self.checks_enabled = False
         self.db = None
         # handlers: fn(interp, recv, name, args, block, line) -> (handled, value)
+        # — handlers must claim receivers by (Python) type: the compiled
+        # backend's call-site caches bypass the handler loop for builtin
+        # value types no handler has ever claimed
         self.foreign_handlers: list = []
         # callbacks invoked after a class body executes: fn(interp, rclass)
         self.class_def_hooks: list = []
@@ -175,6 +220,19 @@ class Interp:
 
         install_corelib(self)
         self.main = RObject(self.classes["Object"])
+        # exact-pytype -> RClass shortcut for class_of (subclasses and the
+        # identity-dispatched immediates fall back to the isinstance ladder)
+        self._pytype_classes: dict[type, RClass] = {
+            int: self.classes["Integer"],
+            float: self.classes["Float"],
+            Sym: self.classes["Symbol"],
+            RString: self.classes["String"],
+            RArray: self.classes["Array"],
+            RHash: self.classes["Hash"],
+            RRange: self.classes["Range"],
+            RBlock: self.classes["Proc"],
+            RClass: self.classes["Class"],
+        }
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -239,6 +297,22 @@ class Interp:
 
     def run_program(self, program: ast.Program) -> object:
         frame = Frame(self.main, Env(), defining_class=self.classes["Object"])
+        return self.execute_program(program, frame)
+
+    def execute_program(self, program: ast.Program, frame: Frame) -> object:
+        """Run a parsed program in ``frame`` on the selected backend.
+
+        The compiled closure is cached on the ``Program`` node itself, so a
+        parse-cached program shared by many universes lowers exactly once.
+        """
+        if self._compiled:
+            code = program.compiled
+            if code is None:
+                from repro.runtime.compile import compile_program
+
+                code = compile_program(program)
+                program.compiled = code
+            return code(self, frame)
         return self.eval_body(program.body, frame)
 
     def eval_body(self, body: list, frame: Frame) -> object:
@@ -588,6 +662,9 @@ class Interp:
             return self.classes["TrueClass"]
         if value is False:
             return self.classes["FalseClass"]
+        klass = self._pytype_classes.get(type(value))
+        if klass is not None:
+            return klass
         if isinstance(value, int):
             return self.classes["Integer"]
         if isinstance(value, float):
@@ -661,7 +738,7 @@ class Interp:
 
     def invoke(self, method: RMethod, receiver: object, args: list,
                block: RBlock | None, line: int) -> object:
-        if method.is_native:
+        if method.native is not None:
             return method.native(self, receiver, args, block)
         self.call_depth += 1
         if self.call_depth > self.max_call_depth:
@@ -669,11 +746,24 @@ class Interp:
             raise RubyError("SystemStackError", "stack level too deep", line)
         try:
             env = Env()
-            self._bind_params(method.params, args, block, env, receiver)
+            if self._compiled:
+                code = method.code
+                if code is None:
+                    from repro.runtime.compile import CompiledMethod
+
+                    code = CompiledMethod(method.params, method.body)
+                    method.code = code
+                code.bind(self, receiver, args, block, env)
+                body = code.body_fn()
+            else:
+                self._bind_params(method.params, args, block, env, receiver)
+                body = None
             frame = Frame(receiver, env, block=block,
                           defining_class=method.owner, method_name=method.name)
             self.frame_stack.append(frame)
             try:
+                if body is not None:
+                    return body(self, frame)
                 return self.eval_body(method.body, frame)
             except ReturnSignal as ret:
                 return ret.value
@@ -710,6 +800,14 @@ class Interp:
             if not args:
                 raise RubyError("ArgumentError", "no receiver for Symbol#to_proc", line)
             return self.call_method(args[0], block.sym_proc.name, list(args[1:]), None, line)
+        if self._compiled:
+            entry = block.compiled
+            if entry is None:
+                from repro.runtime.compile import CompiledBlock
+
+                entry = CompiledBlock(block.params, block.body)
+                block.compiled = entry
+            return entry.call(self, block, args)
         env = Env(parent=block.env)
         params = [p for p in block.params if not p.is_splat]
         splats = [p for p in block.params if p.is_splat]

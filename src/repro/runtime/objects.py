@@ -108,9 +108,19 @@ class RHash:
 
 
 class RMethod:
-    """A method entry: either user-defined (AST) or native (Python)."""
+    """A method entry: either user-defined (AST) or native (Python).
 
-    __slots__ = ("name", "params", "body", "native", "owner")
+    ``code`` caches the closure-compiled form of a user-defined body
+    (a :class:`repro.runtime.compile.CompiledMethod`); it is filled lazily
+    the first time the compiled backend invokes the method.  ``wref`` is a
+    reusable weak reference handed to the compiled backend's call-site
+    caches — those live on process-shared AST nodes, and a strong method
+    reference there would pin a discarded universe's whole class graph
+    through ``owner``.
+    """
+
+    __slots__ = ("name", "params", "body", "native", "owner", "code",
+                 "wref", "__weakref__")
 
     def __init__(
         self,
@@ -125,6 +135,8 @@ class RMethod:
         self.body = body or []
         self.native = native
         self.owner = owner
+        self.code = None
+        self.wref = None
 
     @property
     def is_native(self) -> bool:
@@ -135,11 +147,29 @@ class RMethod:
         return f"RMethod({self.name}, {kind})"
 
 
+# Global method-table epoch: bumped on every (re)definition anywhere, so the
+# flattened per-class lookup caches below (and the call-site inline caches in
+# the compiled backend) can validate themselves with one integer compare.
+# Invalidation is deliberately coarse — definitions happen during program
+# load, lookups dominate during checking and running.
+_METHOD_EPOCH = [1]
+
+
+def method_epoch() -> int:
+    """The current global method-table generation."""
+    return _METHOD_EPOCH[0]
+
+
 class RClass:
-    """A Ruby class: method tables, superclass link, and class-level state."""
+    """A Ruby class: method tables, superclass link, and class-level state.
+
+    Method lookup memoizes the ancestor-chain walk in per-class flattened
+    caches (``_icache``/``_scache``), validated against the global method
+    epoch — redefining *any* method anywhere drops every cache.
+    """
 
     __slots__ = ("name", "superclass", "imethods", "smethods", "consts",
-                 "cvars", "generic_params")
+                 "cvars", "generic_params", "_icache", "_scache", "_epoch")
 
     def __init__(self, name: str, superclass: "RClass | None" = None):
         self.name = name
@@ -149,6 +179,9 @@ class RClass:
         self.consts: dict[str, object] = {}
         self.cvars: dict[str, object] = {}
         self.generic_params: list[str] = []
+        self._icache: dict[str, RMethod | None] = {}
+        self._scache: dict[str, RMethod | None] = {}
+        self._epoch = 0
 
     def ancestors(self) -> list["RClass"]:
         chain: list[RClass] = []
@@ -158,20 +191,57 @@ class RClass:
             current = current.superclass
         return chain
 
+    def _revalidate_caches(self) -> None:
+        """Empty both flattened lookup caches if the epoch moved on.
+
+        This is the single definition of the invalidation rule: any method
+        (re)definition anywhere bumps the global epoch, and the first lookup
+        afterwards drops both caches together.
+        """
+        if self._epoch != _METHOD_EPOCH[0]:
+            self._icache = {}
+            self._scache = {}
+            self._epoch = _METHOD_EPOCH[0]
+
     def lookup_instance(self, name: str) -> RMethod | None:
-        for klass in self.ancestors():
-            if name in klass.imethods:
-                return klass.imethods[name]
-        return None
+        self._revalidate_caches()
+        cache = self._icache
+        try:
+            return cache[name]
+        except KeyError:
+            pass
+        method: RMethod | None = None
+        klass: RClass | None = self
+        while klass is not None:
+            found = klass.imethods.get(name)
+            if found is not None:
+                method = found
+                break
+            klass = klass.superclass
+        cache[name] = method
+        return method
 
     def lookup_static(self, name: str) -> RMethod | None:
-        for klass in self.ancestors():
-            if name in klass.smethods:
-                return klass.smethods[name]
-        return None
+        self._revalidate_caches()
+        cache = self._scache
+        try:
+            return cache[name]
+        except KeyError:
+            pass
+        method: RMethod | None = None
+        klass: RClass | None = self
+        while klass is not None:
+            found = klass.smethods.get(name)
+            if found is not None:
+                method = found
+                break
+            klass = klass.superclass
+        cache[name] = method
+        return method
 
     def define(self, name: str, method: RMethod, static: bool = False) -> None:
         method.owner = self
+        _METHOD_EPOCH[0] += 1
         if static:
             self.smethods[name] = method
         else:
@@ -197,6 +267,8 @@ class RObject:
 class RException(RObject):
     """An exception instance; carries its message in ``@message``."""
 
+    __slots__ = ()
+
     def __init__(self, rclass: RClass, message: str = ""):
         super().__init__(rclass)
         self.ivars["@message"] = RString(message)
@@ -208,12 +280,20 @@ class RException(RObject):
 
 
 class RBlock:
-    """A block/lambda: parameters, body, captured environment and self."""
+    """A block/lambda: parameters, body, captured environment and self.
 
-    __slots__ = ("params", "body", "env", "self_obj", "is_lambda", "sym_proc")
+    ``compiled`` optionally carries the closure-compiled entry for the body
+    (a :class:`repro.runtime.compile.CompiledBlock`, cached on the source
+    ``BlockNode`` so every block instance created from one literal shares
+    it); ``None`` means the tree-walking path evaluates ``body``.
+    """
+
+    __slots__ = ("params", "body", "env", "self_obj", "is_lambda", "sym_proc",
+                 "compiled")
 
     def __init__(self, params: list, body: list, env: object, self_obj: object,
-                 is_lambda: bool = False, sym_proc: Sym | None = None):
+                 is_lambda: bool = False, sym_proc: Sym | None = None,
+                 compiled: object = None):
         self.params = params
         self.body = body
         self.env = env
@@ -221,6 +301,7 @@ class RBlock:
         self.is_lambda = is_lambda
         # a Symbol#to_proc block calls the named method on its argument
         self.sym_proc = sym_proc
+        self.compiled = compiled
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "#<Proc>"

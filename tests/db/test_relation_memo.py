@@ -3,9 +3,10 @@
 The cache used to key on ``id(schema_type)``: after a type object was
 garbage-collected, a *different* schema type allocated at the same address
 would replay the stale verdict.  The key now carries the expected type's
-*structural* form (its canonical repr), so same-shape types share an entry
-and different-shape types can never collide — no object identity in the
-key at all.
+*structural* form — an interned fingerprint (never-recycled int id issued
+per structure, see :func:`repro.rtypes.intern.fingerprint`) — so same-shape
+types share an entry and different-shape types can never collide: no raw
+object identity in the key at all.
 """
 
 import pytest
@@ -51,11 +52,15 @@ def test_distinct_shapes_never_collide(rel):
 
 
 def test_key_carries_the_type_structurally(rel):
+    from repro.rtypes.intern import fingerprint
+
     shape = _shape(id="Integer", username="String")
     rel.comprdl_check_table(None, shape)
     ((key, _value),) = relation_mod._TABLE_CHECK_CACHE.items()
-    # the expected type appears as its repr — never as id(shape)
-    assert repr(shape) in key
+    # the expected type appears as its structural fingerprint — a clone gets
+    # the identical fingerprint, and raw id(shape) never enters the key
+    assert fingerprint(shape) in key
+    assert fingerprint(_shape(id="Integer", username="String")) in key
     assert id(shape) not in key
 
 

@@ -1,0 +1,91 @@
+"""RRange regression: membership and bound queries must not materialize.
+
+``(0..10**12).include?(5)`` used to be O(1) only by luck of the code path —
+``min``/``max``/``size``/``count``/``sum`` and array range-indexing built
+the whole element list.  These tests pin the O(1) behaviour by running
+billion-element ranges under a timeout that only lazy implementations can
+meet.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime.interp import Interp, RRange
+
+BIG = 10**12
+
+
+@pytest.fixture(scope="module")
+def interp():
+    return Interp()
+
+
+def run(interp, src):
+    return interp.run(src)
+
+
+def test_includes_is_constant_time_and_correct():
+    r = RRange(0, BIG, False)
+    start = time.perf_counter()
+    assert r.includes(5)
+    assert r.includes(BIG)
+    assert not r.includes(BIG + 1)
+    assert not r.includes(-1)
+    assert not r.includes(True)  # booleans are not numeric members
+    x = RRange(0, BIG, True)
+    assert not x.includes(BIG)
+    assert x.includes(BIG - 1)
+    assert time.perf_counter() - start < 0.5
+
+
+def test_bound_queries_do_not_materialize(interp):
+    start = time.perf_counter()
+    assert run(interp, f"(0..{BIG}).include?(17)") is True
+    assert run(interp, f"(0..{BIG}).cover?({BIG + 1})") is False
+    assert run(interp, f"(0..{BIG}).size") == BIG + 1
+    assert run(interp, f"(0...{BIG}).size") == BIG
+    assert run(interp, f"(0..{BIG}).min") == 0
+    assert run(interp, f"(0..{BIG}).max") == BIG
+    assert run(interp, f"(0...{BIG}).max") == BIG - 1
+    assert run(interp, f"(1..{BIG}).sum") == BIG * (BIG + 1) // 2
+    assert time.perf_counter() - start < 1.0
+
+
+def test_case_membership_on_huge_range(interp):
+    start = time.perf_counter()
+    result = run(interp, f"""
+case 42
+when 0..{BIG} then "in"
+else "out"
+end
+""")
+    assert result.val == "in"
+    assert time.perf_counter() - start < 0.5
+
+
+def test_empty_and_small_ranges_keep_their_semantics(interp):
+    assert run(interp, "(3..1).size") == 0
+    assert run(interp, "(3..1).min") is None
+    assert run(interp, "(3..1).max") is None
+    assert run(interp, "(3..1).sum") == 0
+    assert run(interp, "(3..1).to_a").items == []
+    assert run(interp, "(1..4).to_a").items == [1, 2, 3, 4]
+    assert run(interp, "(1...4).to_a").items == [1, 2, 3]
+    assert run(interp, "(1..3).sum") == 6
+    assert run(interp, "(2..2).min") == 2
+
+
+def test_array_range_index_uses_bounds(interp):
+    assert run(interp, "[10, 20, 30, 40][1..2]").items == [20, 30]
+    assert run(interp, "[10, 20, 30, 40][1...3]").items == [20, 30]
+    assert run(interp, "[10, 20, 30, 40][3..1]").items == []
+
+
+def test_each_still_iterates_lazily(interp):
+    result = run(interp, """
+total = 0
+(1..5).each { |n| total = total + n }
+total
+""")
+    assert result == 15
