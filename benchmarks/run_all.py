@@ -6,8 +6,8 @@ the per-benchmark JSON lands in an artifact directory for regression
 tracking.  Two benchmark styles are dispatched automatically:
 
 * **script benchmarks** (``bench_incremental``, ``bench_parallel``,
-  ``bench_backends``, ``bench_hotpath``) have a ``main()`` and quick/JSON
-  switches of their own;
+  ``bench_backends``, ``bench_hotpath``, ``bench_warm``) have a ``main()``
+  and quick/JSON switches of their own;
 * **pytest benchmarks** (everything else) run under pytest with
   pytest-benchmark forced to one warm-up-free round, writing its own
   ``--benchmark-json``.
@@ -53,7 +53,7 @@ def main() -> int:
     for path in sorted(glob.glob(os.path.join(HERE, "bench_*.py"))):
         name = os.path.splitext(os.path.basename(path))[0]
         json_path = os.path.join(out, f"{name}.json")
-        if name == "bench_parallel":
+        if name in ("bench_parallel", "bench_warm"):
             cmd = [sys.executable, path, "--quick", "--json", json_path]
         elif name in ("bench_incremental", "bench_backends", "bench_hotpath"):
             env_one = dict(env, BENCH_JSON=json_path)

@@ -72,22 +72,86 @@ class CompRDL:
                                                 self.db)
         # methods (re)defined or annotated after the last `mark_pristine()`:
         # a fresh rebuild of this universe would not see them, so the
-        # parallel cold check keeps them in-process (see check_all)
+        # parallel cold check keeps them in-process (see check_all), and
+        # the warm session engine decides from them whether a delta can be
+        # bounded.  post_build_loads records the program sources that
+        # caused them — the "method definition records" a session delta
+        # replays against live worker replicas.
         self.post_build_methods: set = set()
-        self.registry.add_method_listener(self.post_build_methods.add)
+        self.post_build_loads: list[str] = []
+        self.post_build_load_keys: set = set()
+        self.pristine_generation: int | None = None
+        # bumped on every mark_pristine: warm sessions key their per-worker
+        # sync state on it, so re-marking mid-session forces cold re-attach
+        # instead of replaying deltas against the wrong baseline
+        self.pristine_epoch = 0
+        self._pristine_keys: frozenset = frozenset()
+        self._method_event_log: list = []
+        self._migrating_loads = False
+        self._warm_engine = None
+        self.registry.add_method_listener(self._note_method_event)
 
     # ------------------------------------------------------------------
+    def _note_method_event(self, key) -> None:
+        self.post_build_methods.add(key)
+        self._method_event_log.append(key)
+
     def load(self, source: str):
         """Execute a mini-Ruby program (defining classes and annotations)."""
-        return self.interp.run(source)
+        before = len(self._method_event_log)
+        version_before = self.db.version if self.db is not None else 0
+        result = self.interp.run(source)
+        # every source is a replayable definition record: a load that only
+        # defines a class (no method events) still shapes later verdicts,
+        # so warm replicas must replay it too
+        self.post_build_loads.append(source)
+        self.post_build_load_keys.update(self._method_event_log[before:])
+        if self.db is not None and self.db.version != version_before:
+            # the source migrated the schema: its events are already in the
+            # journal, so replaying the source would apply them twice — an
+            # unbounded delta for warm sessions
+            self._migrating_loads = True
+        return result
 
     def mark_pristine(self) -> None:
         """Declare the current state reproducible from scratch: everything
         loaded so far is part of this universe's canonical build recipe
         (``SubjectApp.build`` calls this after loading the app source).
         Methods loaded *afterwards* diverge from a fresh rebuild, which the
-        parallel cold check uses to keep them in-process."""
+        parallel cold check uses to keep them in-process and the warm
+        session engine replays (new definitions) or refuses to bound
+        (redefinitions)."""
         self.post_build_methods.clear()
+        self.post_build_loads = []
+        self.post_build_load_keys = set()
+        self._method_event_log = []
+        self._migrating_loads = False
+        self.pristine_generation = self.db.version if self.db is not None else 0
+        self.pristine_epoch += 1
+        self._pristine_keys = (frozenset(self.registry.defined_methods)
+                               | frozenset(self.registry.method_annotations))
+
+    @property
+    def post_build_redefinitions(self) -> set:
+        """Post-pristine (re)definitions or re-annotations of methods that
+        already existed at ``mark_pristine`` — the unbounded deltas: a
+        redefined type-level helper can change *any* verdict, which no
+        dependency footprint bounds."""
+        return self.post_build_methods & self._pristine_keys
+
+    @property
+    def post_build_unreplayable(self) -> set:
+        """Post-pristine method events with no recorded ``load`` source
+        (defined via :meth:`run` or direct registry calls) — a warm worker
+        replica cannot replay them."""
+        return self.post_build_methods - self.post_build_load_keys
+
+    @property
+    def post_build_migrating_loads(self) -> bool:
+        """Whether a post-pristine ``load`` source itself migrated the
+        schema.  Those events are already in the journal, so replaying the
+        source on a warm replica would apply them twice — unbounded."""
+        return self._migrating_loads
 
     def check(self, label: str) -> TypeErrorReport:
         """Type check every method annotated ``typecheck: :label``."""
@@ -129,11 +193,48 @@ class CompRDL:
 
         return check_universe_parallel(self, labels, workers)
 
-    def recheck_dirty(self) -> TypeErrorReport:
+    def recheck_dirty(self, workers: int = 1) -> TypeErrorReport:
         """Re-verify only methods dirtied by schema changes since the last
         ``check_all``; the returned report covers every known method,
-        verdict-for-verdict equal to a full re-check."""
-        return self.incremental.recheck_dirty()
+        verdict-for-verdict equal to a full re-check.
+
+        With ``workers > 1`` the dirty methods are sharded across *warm
+        session workers*: each worker keeps live replicas of this
+        universe's subject apps, receives the schema-journal delta (and any
+        post-build ``load`` sources) instead of rebuilding, and checks only
+        its slice.  The session stays attached between calls, so a
+        migrate → recheck loop pays one build ever.  Deltas that cannot be
+        bounded — a post-build method *re*definition, a label without a
+        subject app, an over-long journal — fall back to the serial path;
+        either way the report is verdict-for-verdict identical.
+        """
+        if workers <= 1:
+            return self.incremental.recheck_dirty()
+        from repro.parallel import ParallelCheckEngine
+
+        engine = self._warm_engine
+        if engine is None or engine.workers != workers:
+            self.shutdown_warm()
+            engine = ParallelCheckEngine(
+                workers=workers,
+                stats=self.incremental_stats,
+                backend=self.db.backend_name,
+            )
+            self._warm_engine = engine
+        return engine.recheck_dirty(self)
+
+    @property
+    def warm_engine(self):
+        """The warm session engine behind ``recheck_dirty(workers=N)``
+        (None until first used); exposes diagnostics like
+        ``last_warm_run``."""
+        return self._warm_engine
+
+    def shutdown_warm(self) -> None:
+        """Shut down the warm session workers (if any)."""
+        if self._warm_engine is not None:
+            self._warm_engine.close()
+            self._warm_engine = None
 
     @property
     def incremental_stats(self) -> IncrementalStats:

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.incremental.versioning import WILDCARD, SchemaEvent, SchemaJournal
+from repro.incremental.versioning import (
+    WILDCARD,
+    ReplayError,
+    SchemaEvent,
+    SchemaJournal,
+)
 from repro.rtypes import FiniteHashType, GenericType, NominalType, RType
 from repro.rtypes.kinds import Sym
 from repro.runtime.objects import RHash, RString
@@ -164,9 +169,10 @@ class Database:
             listener(table, column)
 
     def _mutated(self, kind: str, table: str, column: str | None = None,
-                 detail: str | None = None) -> None:
+                 detail: str | None = None,
+                 payload: tuple | None = None) -> None:
         self.version += 1
-        event = SchemaEvent(kind, self.version, table, column, detail)
+        event = SchemaEvent(kind, self.version, table, column, detail, payload)
         self.journal.record(event)
         for listener in self.change_listeners:
             listener(event)
@@ -177,12 +183,21 @@ class Database:
 
         An integer ``id`` column is added automatically when absent.
         """
-        declared = [Column(c, kind) for c, kind in columns.items()]
+        return self._create_table(
+            table_name, [Column(c, kind) for c, kind in columns.items()])
+
+    def _create_table(self, table_name: str,
+                      declared: list[Column]) -> TableSchema:
+        """The kwargs-free core of :meth:`create_table` — journal replay
+        goes through here directly, so column names that collide with
+        parameter names (``table_name``, ``self``) still replay."""
+        declared = list(declared)
         if not any(column.name == "id" for column in declared):
             declared.insert(0, Column("id", "integer"))
         self.backend.create_table(table_name, declared)
         self._next_ids[table_name] = 1
-        self._mutated("create_table", table_name)
+        self._mutated("create_table", table_name,
+                      payload=tuple((c.name, c.kind) for c in declared))
         return self.backend.tables[table_name]
 
     def drop_table(self, table: str) -> None:
@@ -235,7 +250,7 @@ class Database:
             raise KeyError(
                 f"cannot add column {column!r} to {table!r}: column exists")
         self.backend.add_column(table, Column(column, kind))
-        self._mutated("add_column", table, column)
+        self._mutated("add_column", table, column, payload=(kind,))
 
     def rename_column(self, table: str, column: str, new_name: str) -> None:
         """Rename a column in place, preserving order and row data."""
@@ -269,6 +284,75 @@ class Database:
     def declare_association(self, owner_table: str, assoc_table: str) -> None:
         self.associations.add((owner_table, assoc_table))
         self._mutated("association", owner_table, detail=assoc_table)
+
+    # -- journal replay ----------------------------------------------------
+    def replay(self, events) -> int:
+        """Replay journal events recorded by another :class:`Database`.
+
+        The warm worker sessions' synchronization primitive: a replica that
+        was built identically to the source universe (same generation, same
+        schemas) applies the source's journal delta and converges —
+        ``schema_hash()`` parity afterwards is what makes remote
+        ``recheck_dirty`` sound.  Replay goes through the public migration
+        methods, so both storage backends, the generation counter, the
+        journal, and every change listener behave exactly as if the
+        migrations had happened locally.
+
+        Events at or below the current generation are skipped (already
+        applied); a gap or a generation mismatch after applying an event
+        raises :class:`ReplayError` — the replica diverged and nothing
+        further can be trusted.  Returns the number of events applied.
+        """
+        applied = 0
+        for event in events:
+            if event.generation <= self.version:
+                continue
+            if event.generation != self.version + 1:
+                raise ReplayError(
+                    f"cannot replay {event.describe()}: replica is at "
+                    f"generation {self.version} (event stream has a gap)")
+            self._apply_event(event)
+            if self.version != event.generation:
+                raise ReplayError(
+                    f"replay of {event.describe()} left the replica at "
+                    f"generation {self.version} — replica diverged")
+            applied += 1
+        return applied
+
+    def _apply_event(self, event: SchemaEvent) -> None:
+        kind = event.kind
+        try:
+            if kind == "create_table":
+                if not event.payload:
+                    raise ReplayError(
+                        f"create_table event for {event.table!r} carries no "
+                        f"column payload")
+                self._create_table(
+                    event.table,
+                    [Column(name, k) for name, k in event.payload])
+            elif kind == "drop_table":
+                self.drop_table(event.table)
+            elif kind == "rename_table":
+                self.rename_table(event.table, event.detail)
+            elif kind == "add_column":
+                if not event.payload:
+                    raise ReplayError(
+                        f"add_column event for {event.table!r}.{event.column!r} "
+                        f"carries no kind payload")
+                self.add_column(event.table, event.column, event.payload[0])
+            elif kind == "drop_column":
+                self.drop_column(event.table, event.column)
+            elif kind == "rename_column":
+                self.rename_column(event.table, event.column, event.detail)
+            elif kind == "association":
+                self.declare_association(event.table, event.detail)
+            else:
+                raise ReplayError(f"unknown schema event kind {kind!r}")
+        except ReplayError:
+            raise
+        except KeyError as exc:
+            raise ReplayError(
+                f"replay of {event.describe()} failed: {exc}") from exc
 
     def associated(self, owner_table: str, assoc_table: str) -> bool:
         self.note_read(owner_table)

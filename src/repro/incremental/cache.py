@@ -25,19 +25,20 @@ from dataclasses import dataclass
 
 from repro.incremental.stats import IncrementalStats
 from repro.incremental.versioning import SchemaJournal, affects
-from repro.rtypes.intern import fingerprint
+from repro.rtypes.intern import env_fingerprint
 
 
-def binding_key(bindings: dict) -> tuple:
+def binding_key(bindings: dict) -> int:
     """A hashable key for a comp binding environment (``tself`` + type vars).
 
-    Keys on interned type fingerprints — process-stable integers that
-    identify each binding's *current* structure — instead of rendering
-    ``to_s()`` strings.  Two environments get the same key exactly when
-    every binding is structurally identical, as before, but a key costs a
-    few dict lookups instead of string formatting, and compares as ints.
+    The whole environment is interned (:func:`repro.rtypes.intern.
+    env_fingerprint`): environments of interned types resolve with a single
+    identity-table lookup, and the key is one machine int — no per-type
+    fingerprint tupling, no string formatting.  Two environments get the
+    same key exactly when every binding is structurally identical, as
+    before.
     """
-    return tuple(sorted((name, fingerprint(t)) for name, t in bindings.items()))
+    return env_fingerprint(bindings)
 
 
 @dataclass
@@ -59,7 +60,7 @@ class CompEvalCache:
         self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
 
     # ------------------------------------------------------------------
-    def lookup(self, code: str, bkey: tuple, generation: int,
+    def lookup(self, code: str, bkey: int, generation: int,
                journal: SchemaJournal | None) -> CacheEntry | None:
         key = (code, bkey)
         entry = self._entries.get(key)
@@ -81,7 +82,7 @@ class CompEvalCache:
         self.stats.comp_hits += 1
         return entry
 
-    def store(self, code: str, bkey: tuple, generation: int,
+    def store(self, code: str, bkey: int, generation: int,
               tables, value) -> CacheEntry:
         key = (code, bkey)
         entry = CacheEntry(value, generation, frozenset(tables))

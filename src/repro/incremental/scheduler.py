@@ -87,13 +87,13 @@ class IncrementalScheduler:
         for label in labels:
             if label not in self.labels:
                 self.labels.append(label)
-        return self.resolve(self._keys_for(labels))
+        return self.resolve(self.keys_for(labels))
 
     def recheck_dirty(self) -> TypeErrorReport:
         """Re-verify only dirty methods; the report still covers every
         label previously checked, verdict-for-verdict equal to a full
         re-check."""
-        return self.resolve(self._keys_for(self.labels))
+        return self.resolve(self.keys_for(self.labels))
 
     def resolve(self, keys) -> TypeErrorReport:
         """A report covering ``keys`` in order: dirty or never-checked
@@ -105,9 +105,11 @@ class IncrementalScheduler:
         return report
 
     # ------------------------------------------------------------------
-    # internals
+    # exportable scheduling state (the parallel engines plan over these)
     # ------------------------------------------------------------------
-    def _keys_for(self, labels) -> list:
+    def keys_for(self, labels) -> list:
+        """The serial-order method keys for ``labels`` (registry order per
+        label, deduplicated by key — the order every report follows)."""
         keys: list = []
         seen: set = set()
         for label in labels:
@@ -116,6 +118,20 @@ class IncrementalScheduler:
                     seen.add(key)
                     keys.append(key)
         return keys
+
+    def pending_keys(self, labels=None) -> list:
+        """Dirty or never-checked method keys, in serial order.
+
+        Exactly the work a ``recheck_dirty`` pass would perform in-process
+        — exported so the warm session engine can shard it across workers;
+        everything else is served from cached verdicts either way.
+        """
+        if labels is None:
+            labels = self.labels
+        return [
+            key for key in self.keys_for(labels)
+            if key not in self.results or key in self.dirty
+        ]
 
     def _ensure(self, key, report: TypeErrorReport) -> None:
         result = self.results.get(key)

@@ -10,6 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: weight of the newest observation in the per-method cost EWMA.  One noisy
+#: round (a GC pause, a cold cache) must not swing the shard planner, but a
+#: genuine cost shift should dominate within a few rounds: at 0.4 the last
+#: three observations carry ~78% of the weight.
+COST_EWMA_ALPHA = 0.4
+
 
 @dataclass
 class IncrementalStats:
@@ -33,11 +39,30 @@ class IncrementalStats:
     methods_checked_parallel: int = 0  # verdicts computed by worker processes
     parallel_shards: int = 0
     parallel_rounds: int = 0
-    # observed per-method check wall time (desc -> seconds, last observation);
-    # the shard planner's cost model reads this
+    # observed per-method check wall time (desc -> seconds, exponentially
+    # weighted across observations — see observe_cost); the shard planner's
+    # cost model reads this
     method_costs: dict = field(default_factory=dict)
 
     extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def observe_cost(self, desc: str, seconds: float) -> float:
+        """Fold one observed method-check wall time into the cost model.
+
+        Keeps an exponentially-weighted moving average per method instead
+        of decaying to the last observation, so a single outlier round
+        cannot capsize the shard planner's balance.  Returns the updated
+        estimate.
+        """
+        previous = self.method_costs.get(desc)
+        if previous is None:
+            estimate = seconds
+        else:
+            estimate = (COST_EWMA_ALPHA * seconds
+                        + (1.0 - COST_EWMA_ALPHA) * previous)
+        self.method_costs[desc] = estimate
+        return estimate
 
     # ------------------------------------------------------------------
     @property

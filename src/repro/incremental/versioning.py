@@ -27,9 +27,26 @@ WILDCARD = "*"
 TWO_TABLE_KINDS = ("association", "rename_table")
 
 
+class ReplayError(RuntimeError):
+    """A journal event could not be replayed onto a replica database.
+
+    Raised when the replica's generation does not line up with the event
+    stream (the replica diverged from the universe that recorded the
+    events) or when an event's payload is missing/malformed.  Warm worker
+    sessions treat this as "the delta cannot be bounded" and fall back to
+    a cold attach.
+    """
+
+
 @dataclass(frozen=True)
 class SchemaEvent:
-    """One schema mutation: what happened, to which table, at which generation."""
+    """One schema mutation: what happened, to which table, at which generation.
+
+    ``payload`` carries whatever replay needs beyond the names: the column
+    kinds for ``create_table`` / ``add_column``.  It is always built from
+    plain strings/tuples so the wire form (:meth:`to_wire`) is stable
+    across processes and pickle-free transports.
+    """
 
     kind: str                 # create_table / drop_table / rename_table /
                               # add_column / drop_column / rename_column /
@@ -38,6 +55,7 @@ class SchemaEvent:
     table: str
     column: str | None = None
     detail: str | None = None  # e.g. rename target, association partner
+    payload: tuple | None = None  # replay data, e.g. column kinds
 
     def describe(self) -> str:
         parts = [f"gen {self.generation}: {self.kind} {self.table}"]
@@ -46,6 +64,24 @@ class SchemaEvent:
         if self.detail:
             parts.append(f" ({self.detail})")
         return "".join(parts)
+
+    # -- wire encoding -----------------------------------------------------
+    def to_wire(self) -> tuple:
+        """A stable, pickle-friendly tuple for the session protocol.
+
+        Plain strings/ints/tuples only, so the encoding survives any
+        transport (pipes today, sockets for a distributed fleet) and two
+        processes always agree on what an event means.
+        """
+        return (self.kind, self.generation, self.table, self.column,
+                self.detail, self.payload)
+
+    @classmethod
+    def from_wire(cls, record: tuple) -> "SchemaEvent":
+        kind, generation, table, column, detail, payload = record
+        return cls(kind, generation, table, column, detail,
+                   tuple(tuple(p) if isinstance(p, (list, tuple)) else p
+                         for p in payload) if payload is not None else None)
 
 
 class SchemaJournal:

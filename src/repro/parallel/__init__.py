@@ -8,14 +8,22 @@ verdicts back into a single report that is verdict-for-verdict identical to
 a serial run, back-feeding dependency footprints into the incremental
 engine (:mod:`repro.parallel.merge`).
 
+Beyond the one-shot cold fleet, the engine hosts **warm sessions**
+(:mod:`repro.parallel.sessions`): session workers attach live label
+universes once, then receive schema-journal deltas and post-build load
+records (:class:`SessionDelta`) and re-check only dirty methods
+(``CompRDL.recheck_dirty(workers=N)``) — no rebuilds between rounds.
+
 Use :class:`ParallelCheckEngine` for a persistent fleet,
-:func:`check_fleet` for one-shot checks, or
-``CompRDL.check_all(labels, workers=N)`` to parallel-check one universe.
+:func:`check_fleet` for one-shot checks,
+``CompRDL.check_all(labels, workers=N)`` to parallel-check one universe,
+or ``CompRDL.recheck_dirty(workers=N)`` for warm post-migration rechecks.
 """
 
 from repro.parallel.engine import (
     ParallelCheckEngine,
     ParallelRun,
+    WarmSyncError,
     check_fleet,
     check_universe_parallel,
     specs_for_labels,
@@ -27,21 +35,48 @@ from repro.parallel.merge import (
 )
 from repro.parallel.planner import Shard, method_cost, plan_shards
 from repro.parallel.protocol import (
+    AttachAck,
+    AttachUniverse,
+    CheckRequest,
+    DeltaAck,
+    DetachSession,
     MethodSpec,
     MethodVerdict,
+    SessionDelta,
+    SessionError,
     ShardResult,
     ShardTask,
+    Shutdown,
+)
+from repro.parallel.sessions import (
+    SessionPool,
+    SessionRequestFailed,
+    WarmRun,
+    WorkerLost,
 )
 
 __all__ = [
+    "AttachAck",
+    "AttachUniverse",
+    "CheckRequest",
+    "DeltaAck",
+    "DetachSession",
     "MethodSpec",
     "MethodVerdict",
     "ParallelCheckEngine",
     "ParallelRun",
+    "SessionDelta",
+    "SessionError",
+    "SessionPool",
+    "SessionRequestFailed",
     "Shard",
     "ShardGapError",
     "ShardResult",
     "ShardTask",
+    "Shutdown",
+    "WarmRun",
+    "WarmSyncError",
+    "WorkerLost",
     "check_fleet",
     "check_universe_parallel",
     "feed_incremental",

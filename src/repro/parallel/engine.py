@@ -1,13 +1,24 @@
 """The parallel checking fleet: pool management and orchestration.
 
-Two entry points share the planner/worker/merge machinery:
+Entry points sharing the planner/worker/merge machinery:
 
 * :class:`ParallelCheckEngine` — a persistent fleet for checking one or
   more subject-app labels across spawn workers, keeping the worker pool
   warm between rounds (a cold check of the combined apps is one round; a
   long-lived checking service runs many).  Observed per-method and
-  per-app-build costs flow back into the engine's stats after every round,
-  so later plans balance on measurements instead of heuristics.
+  per-app-build costs flow back into the engine's stats after every round
+  (EWMA), and observed shard *imbalance* tunes the planner's split
+  threshold, so later plans balance on measurements instead of heuristics.
+* the engine's **warm session** methods (:meth:`ParallelCheckEngine.attach`
+  / :meth:`migrate` / :meth:`recheck_dirty`) — instead of rebuilding apps
+  every round, session workers keep live label universes, receive
+  schema-journal deltas plus post-build load records, and re-check only
+  the dirty methods; the merged report is verdict-for-verdict identical to
+  the serial incremental path.  Deltas that cannot be bounded (a
+  post-build method *re*definition — a redefined type-level helper can
+  change any verdict, which no dependency footprint bounds — or a journal
+  that has forgotten the needed events) fall back to the serial
+  incremental path, mirroring the cold fleet's fallback rule.
 * :func:`check_universe_parallel` — the ``CompRDL.check_all(labels,
   workers=N)`` backend: shards *this universe's* methods, fans out, and
   back-feeds the universe's incremental scheduler so ``recheck_dirty()``
@@ -29,8 +40,34 @@ from repro.incremental.stats import IncrementalStats
 from repro.parallel import worker as worker_mod
 from repro.parallel.merge import feed_incremental, merge_report
 from repro.parallel.planner import Shard, plan_shards
-from repro.parallel.protocol import MethodSpec, ShardResult, ShardTask
+from repro.parallel.protocol import (
+    AttachUniverse,
+    CheckRequest,
+    DetachSession,
+    MethodSpec,
+    SessionDelta,
+    ShardResult,
+    ShardTask,
+)
+from repro.parallel.sessions import (
+    SessionPool,
+    SessionRequestFailed,
+    WarmRun,
+    WorkerLost,
+    new_session_id,
+)
 from repro.typecheck.errors import TypeErrorReport
+
+#: shard-CPU imbalance (max/mean) a round may show before the engine
+#: loosens the planner's split threshold for the next round
+SPLIT_IMBALANCE_TOLERANCE = 1.25
+#: ceiling/decay for the feedback-driven split bias
+SPLIT_BIAS_MAX = 8.0
+SPLIT_BIAS_DECAY = 0.7
+
+
+class WarmSyncError(RuntimeError):
+    """A warm session could not be converged with the live universe."""
 
 
 @dataclass
@@ -89,6 +126,15 @@ class ParallelCheckEngine:
         self.build_costs: dict[str, float] = {}
         self._pool: ProcessPoolExecutor | None = None
         self._catalog: dict[str, object] = {}  # label -> CompRDL (enumeration)
+        # observed-imbalance feedback into the planner's split threshold
+        self.split_bias: float = 1.0
+        # warm session state: a pool of stateful session workers plus the
+        # universe currently attached to them
+        self._session_pool: SessionPool | None = None
+        self._attached_rdl = None
+        self._attached_labels: list[str] = []
+        self._session_id: str | None = None
+        self.last_warm_run: WarmRun | None = None
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -123,6 +169,12 @@ class ParallelCheckEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._session_pool is not None:
+            self._session_pool.close()
+            self._session_pool = None
+        self._attached_rdl = None
+        self._attached_labels = []
+        self._session_id = None
 
     def __enter__(self) -> "ParallelCheckEngine":
         return self
@@ -165,6 +217,7 @@ class ParallelCheckEngine:
             registry_for_label=self._registry_for_label,
             stats=self.stats,
             build_costs=self.build_costs,
+            split_bias=self.split_bias,
         )
         plan_s = time.perf_counter() - plan_start
 
@@ -198,14 +251,400 @@ class ParallelCheckEngine:
         return [future.result() for future in futures]
 
     def _absorb_costs(self, results: list[ShardResult]) -> None:
-        """Feed observed costs back into the planner's model."""
+        """Feed observed costs back into the planner's model (EWMA per
+        method) and observed shard imbalance into the split threshold."""
         for result in results:
             for label, build_s in result.build_s.items():
                 self.build_costs[label] = build_s
             for verdict in result.verdicts:
-                self.stats.method_costs[verdict.desc] = verdict.cost_s
+                self.stats.observe_cost(verdict.desc, verdict.cost_s)
             self.stats.parallel_shards += 1
             self.stats.methods_checked_parallel += len(result.verdicts)
+        self._absorb_imbalance(results)
+
+    def _absorb_imbalance(self, results: list[ShardResult]) -> None:
+        """Tune the planner's split eagerness from observed shard CPU.
+
+        A round whose slowest shard dominates the mean means the cost model
+        under-predicted that shard's methods — the next plan should split
+        finer (raise ``split_bias``).  Balanced rounds decay the bias back
+        toward 1.0 so a transient skew does not over-fragment forever.
+        """
+        cpu = [result.cpu_s for result in results]
+        if len(cpu) < 2:
+            return
+        mean = sum(cpu) / len(cpu)
+        if mean <= 0:
+            return
+        imbalance = max(cpu) / mean
+        if imbalance > SPLIT_IMBALANCE_TOLERANCE:
+            self.split_bias = min(self.split_bias * imbalance, SPLIT_BIAS_MAX)
+        else:
+            self.split_bias = max(1.0, self.split_bias * SPLIT_BIAS_DECAY)
+        self.stats.extra["split_bias"] = self.split_bias
+
+    # ------------------------------------------------------------------
+    # warm sessions: attach / migrate / recheck_dirty
+    # ------------------------------------------------------------------
+    def attach(self, rdl, labels=None) -> str:
+        """Attach a live universe to warm session workers.
+
+        Each session worker builds pristine replicas of every label's
+        subject app once (the cold step) and keeps them alive; afterwards
+        :meth:`migrate` ships journal deltas instead of rebuilds and
+        :meth:`recheck_dirty` checks only dirty methods remotely.  Raises
+        ``ValueError`` when the universe cannot be warm-replicated (see
+        :meth:`warm_block_reason`); returns the session id.
+        """
+        labels = (_normalize_labels(labels) if labels is not None
+                  else list(rdl.incremental.labels))
+        reason = self.warm_block_reason(rdl, labels)
+        if reason is not None:
+            raise ValueError(f"cannot attach a warm session: {reason}")
+        if self._session_id is not None:
+            self.detach()  # workers must not serve a stale session's replicas
+        self._attached_rdl = rdl
+        self._attached_labels = labels
+        self._session_id = new_session_id()
+        self.last_warm_run = None
+        try:
+            self._sync_session(rdl)
+        except (WarmSyncError, WorkerLost, SessionRequestFailed):
+            self._abort_session()
+            raise
+        return self._session_id
+
+    def migrate(self, rdl=None) -> int:
+        """Converge every session worker with the live universe now
+        (journal events + post-build load records).  Returns the synced
+        generation.  Implicitly called by :meth:`recheck_dirty`; exposed
+        for callers that want to overlap delta replay with other work."""
+        rdl = self._require_attached(rdl)
+        try:
+            self._sync_session(rdl)
+        except (WarmSyncError, WorkerLost, SessionRequestFailed):
+            self._abort_session()
+            raise
+        return rdl.db.version
+
+    def recheck_dirty(self, rdl=None) -> TypeErrorReport:
+        """Re-verify the universe's dirty methods across warm workers.
+
+        The warm counterpart of ``IncrementalScheduler.recheck_dirty``:
+        dirty / never-checked methods are sharded across session workers
+        (after a delta sync), their verdicts and dependency footprints are
+        adopted back into the scheduler, and the returned report covers
+        every previously-checked label — verdict-for-verdict identical to
+        the serial incremental path.  Falls back to that serial path
+        whenever the delta cannot be bounded or the session cannot be
+        converged; a worker death mid-round re-plans the lost shard onto
+        surviving workers, so the round always completes.
+        """
+        if rdl is None:
+            rdl = self._attached_rdl
+        if rdl is None:
+            raise ValueError("no universe attached: call attach(rdl) first "
+                             "or pass rdl=")
+        scheduler = rdl.incremental
+        # follow the scheduler's label list (it may have grown since
+        # attach): the warm report must cover exactly what the serial
+        # incremental report would
+        labels = list(scheduler.labels)
+        reason = self.warm_block_reason(rdl, labels)
+        if reason is not None:
+            return self._fallback_serial(scheduler, reason)
+
+        round_start = time.perf_counter()
+        serial_keys = scheduler.keys_for(labels)
+        pending = scheduler.pending_keys(labels)
+        if not pending:
+            self.last_warm_run = WarmRun(methods=0, remote=False)
+            return scheduler.resolve(serial_keys)
+
+        sync_start = time.perf_counter()
+        try:
+            if rdl is not self._attached_rdl or labels != self._attached_labels:
+                self.attach(rdl, labels)
+            else:
+                self._sync_session(rdl)
+        except (WarmSyncError, WorkerLost, SessionRequestFailed) as exc:
+            self._abort_session()
+            return self._fallback_serial(scheduler, f"session sync failed: {exc}")
+        sync_s = time.perf_counter() - sync_start
+
+        plan_start = time.perf_counter()
+        label_of: dict = {}
+        for label in labels:
+            for key in rdl.registry.methods_for_label(label):
+                label_of.setdefault(key, label)
+        specs = [
+            MethodSpec(label_of[key], key.class_name, key.method_name,
+                       key.static)
+            for key in pending
+        ]
+        workers = self._attached_workers()
+        shards = plan_shards(
+            specs,
+            max(1, len(workers)),
+            registry_for_label=lambda _label: rdl.registry,
+            stats=scheduler.stats,
+            # replicas are already alive: splitting a label costs nothing
+            build_costs={label: 0.0 for label in labels},
+            split_bias=self.split_bias,
+        )
+        plan_s = time.perf_counter() - plan_start
+
+        results, retries = self._run_warm_shards(shards)
+        feed_incremental(scheduler, results, generation=rdl.db.version)
+        self._absorb_imbalance(results)
+        scheduler.stats.parallel_rounds += 1
+        # resolve() assembles the report in serial order from the adopted
+        # verdicts — and is the completeness backstop: anything a lost
+        # worker never returned is checked in-process right here
+        report = scheduler.resolve(serial_keys)
+        self.last_warm_run = WarmRun(
+            methods=len(pending),
+            remote=True,
+            results=results,
+            wall_s=time.perf_counter() - round_start,
+            plan_s=plan_s,
+            sync_s=sync_s,
+            retries=retries,
+        )
+        return report
+
+    def detach(self) -> None:
+        """Drop the attached session (workers stay up for re-attachment)."""
+        if self._session_id is not None and self._session_pool is not None:
+            for handle in self._session_pool.live():
+                if not handle.attached:
+                    continue
+                try:
+                    handle.request(DetachSession(self._session_id))
+                except (WorkerLost, SessionRequestFailed):
+                    pass
+                handle.attached = False
+        self._attached_rdl = None
+        self._attached_labels = []
+        self._session_id = None
+
+    def _abort_session(self) -> None:
+        """Discard the session AND the worker pool.
+
+        After a failed sync some pipes may hold unread replies, and a
+        plain request/reply transport cannot resynchronize them — a stale
+        reply would be mistaken for the next request's answer.  Dropping
+        the pool is the only safe reset; the next warm round respawns and
+        cold-attaches."""
+        if self._session_pool is not None:
+            self._session_pool.close()
+            self._session_pool = None
+        self._attached_rdl = None
+        self._attached_labels = []
+        self._session_id = None
+
+    # -- warm internals ----------------------------------------------------
+    def warm_block_reason(self, rdl, labels) -> str | None:
+        """Why this universe cannot be warm-replicated right now (None when
+        it can).  These are exactly the "delta cannot be bounded" cases —
+        the callers fall back to the serial incremental path."""
+        from repro.apps import app_for_label
+
+        if not labels:
+            return "no labels have been checked yet"
+        if len(labels) > 1:
+            # each replica is one label's app, but the universe has ONE
+            # journal and one pristine generation spanning all of them —
+            # replaying the combined journal into per-app replicas cannot
+            # line up (per-label journals are the distributed-fleet item)
+            return ("multi-label universes are not warm-replicable: one "
+                    "combined journal cannot replay into per-app replicas")
+        pristine = getattr(rdl, "pristine_generation", None)
+        if pristine is None:
+            return "universe was never marked pristine"
+        if getattr(rdl, "pristine_epoch", 1) > 1:
+            # a re-marked universe absorbed post-build loads into its
+            # baseline, but replicas rebuild from the subject-app recipe,
+            # which knows nothing about them — no delta can bridge that
+            return ("the universe was re-marked pristine after build: "
+                    "replicas rebuilt from the app recipe cannot "
+                    "reproduce it")
+        redefs = getattr(rdl, "post_build_redefinitions", None)
+        if redefs:
+            names = ", ".join(sorted(str(key) for key in redefs))
+            return (f"post-build (re)definition of {names} — a redefined "
+                    f"type-level helper can change any verdict")
+        unreplayable = getattr(rdl, "post_build_unreplayable", None)
+        if unreplayable:
+            names = ", ".join(sorted(str(key) for key in unreplayable))
+            return f"methods defined outside load(), not replayable: {names}"
+        if getattr(rdl, "post_build_migrating_loads", False):
+            return ("a post-build load migrated the schema itself: its "
+                    "journal events and its source would replay twice")
+        for label in labels:
+            try:
+                app_for_label(label)
+            except KeyError:
+                return f"label {label!r} names no subject app"
+        if pristine < rdl.db.journal.oldest_retained:
+            return ("the schema journal no longer reaches the pristine "
+                    "generation (too many migrations)")
+        return None
+
+    def _require_attached(self, rdl):
+        if rdl is None:
+            rdl = self._attached_rdl
+        if rdl is None:
+            raise ValueError("no universe attached: call attach(rdl) first")
+        if rdl is not self._attached_rdl:
+            self.attach(rdl)
+        return rdl
+
+    def _attached_workers(self):
+        return [handle for handle in self._session_pool.live()
+                if handle.attached] if self._session_pool else []
+
+    def _fallback_serial(self, scheduler, reason: str) -> TypeErrorReport:
+        extra = scheduler.stats.extra
+        extra["warm_fallbacks"] = extra.get("warm_fallbacks", 0) + 1
+        extra["warm_fallback_reason"] = reason
+        self.last_warm_run = WarmRun(remote=False, fallback_reason=reason)
+        return scheduler.recheck_dirty()
+
+    def _sync_session(self, rdl) -> None:
+        """Bring every session worker to the universe's current state.
+
+        Blank or stale workers (freshly spawned, respawned after a crash,
+        or synced to a generation the bounded journal has forgotten) get a
+        cold attach — pristine rebuild — then everyone receives the journal
+        delta and unshipped load records.  Broadcasts overlap: all sends go
+        out before any ack is awaited.
+        """
+        if self._session_id is None:
+            raise WarmSyncError("no session attached")
+        if self._session_pool is None:
+            self._session_pool = SessionPool(self.workers)
+        handles = self._session_pool.ensure()
+        journal = rdl.db.journal
+        pristine = rdl.pristine_generation
+        loads = list(rdl.post_build_loads)
+        backend = self.backend or rdl.db.backend_name
+
+        needs_attach = [
+            handle for handle in handles
+            if not handle.attached
+            or handle.synced_generation < journal.oldest_retained
+        ]
+        attach = AttachUniverse(
+            session_id=self._session_id,
+            labels=tuple(self._attached_labels),
+            backend=backend,
+        )
+        sent = []
+        for handle in needs_attach:
+            try:
+                handle.send(attach)
+                sent.append(handle)
+            except WorkerLost:
+                continue
+        for handle in sent:
+            try:
+                ack = handle.recv()
+            except WorkerLost:
+                continue
+            if any(gen != pristine for gen in ack.generations.values()):
+                raise WarmSyncError(
+                    f"replica build diverged: worker {handle.index} built "
+                    f"generations {ack.generations}, expected {pristine} — "
+                    f"the universe is not reproducible from its apps")
+            handle.attached = True
+            handle.synced_generation = pristine
+            handle.loads_applied = 0
+
+        sent = []
+        for handle in self._attached_workers():
+            events = journal.events_since(handle.synced_generation)
+            new_loads = loads[handle.loads_applied:]
+            if not events and not new_loads:
+                continue
+            delta = SessionDelta(
+                session_id=self._session_id,
+                events=tuple(event.to_wire() for event in events),
+                loads=tuple(new_loads),
+            )
+            try:
+                handle.send(delta)
+                sent.append(handle)
+            except WorkerLost:
+                continue
+        for handle in sent:
+            try:
+                ack = handle.recv()
+            except WorkerLost:
+                continue
+            if any(gen != rdl.db.version for gen in ack.generations.values()):
+                raise WarmSyncError(
+                    f"delta replay diverged on worker {handle.index}: "
+                    f"replicas at {ack.generations}, universe at "
+                    f"{rdl.db.version}")
+            handle.synced_generation = rdl.db.version
+            handle.loads_applied = len(loads)
+
+        if not self._attached_workers():
+            raise WarmSyncError("no session workers survived the sync")
+
+    def _run_warm_shards(self, shards: list[Shard]) -> tuple[list[ShardResult], int]:
+        """Fan shards out to attached workers; re-plan lost shards onto
+        survivors.  Missing verdicts (every worker died) are left for the
+        caller's in-process resolve backstop."""
+        workers = self._attached_workers()
+        results: list[ShardResult] = []
+        retries = 0
+
+        def dispatch(assignments) -> list[Shard]:
+            """Send all, then recv all (overlapped); returns lost shards."""
+            lost: list[Shard] = []
+            in_flight: list[tuple] = []
+            for handle, shard in assignments:
+                request = CheckRequest(self._session_id, shard.index,
+                                       tuple(shard.specs))
+                try:
+                    handle.send(request)
+                    in_flight.append((handle, shard))
+                except WorkerLost:
+                    lost.append(shard)
+            for handle, shard in in_flight:
+                try:
+                    results.append(handle.recv())
+                except WorkerLost:
+                    lost.append(shard)
+                except SessionRequestFailed:
+                    handle.attached = False  # stale session: re-attach later
+                    lost.append(shard)
+            return lost
+
+        failed = dispatch(zip(workers, shards))
+        # plan_shards caps shards at the worker count, but workers can die
+        # between planning and sending — anything unassigned retries below
+        failed.extend(shards[len(workers):])
+        while failed:
+            survivors = self._attached_workers()
+            if not survivors:
+                break  # the caller's in-process resolve backstop completes
+            # round-robin the lost shards across every survivor, overlapped
+            still_failed = dispatch(
+                (survivors[i % len(survivors)], shard)
+                for i, shard in enumerate(failed)
+            )
+            retries += len(failed) - len(still_failed)
+            if len(still_failed) == len(failed):
+                break  # no progress: stop before spinning on a sick fleet
+            failed = still_failed
+        if retries:
+            extra = self.stats.extra
+            extra["warm_worker_retries"] = (
+                extra.get("warm_worker_retries", 0) + retries)
+        return results, retries
 
 
 def check_fleet(labels, workers: int, backend: str | None = None) -> ParallelRun:

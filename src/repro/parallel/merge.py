@@ -82,7 +82,7 @@ def feed_incremental(scheduler, results: list[ShardResult],
             # tracks in-process checks, and a later resolve() pass over these
             # keys must see genuine reuse, not double-counted checks
             stats.methods_checked_parallel += 1
-            stats.method_costs[verdict.desc] = verdict.cost_s
+            stats.observe_cost(verdict.desc, verdict.cost_s)
             adopted += 1
         stats.parallel_shards += 1
     return adopted

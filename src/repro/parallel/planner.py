@@ -114,6 +114,7 @@ def plan_shards(
     registry_for_label=None,
     stats=None,
     build_costs: dict[str, float] | None = None,
+    split_bias: float = 1.0,
 ) -> list[Shard]:
     """Partition ``specs`` into at most ``workers`` balanced shards.
 
@@ -126,6 +127,12 @@ def plan_shards(
        cost dominates, but only when half the saved checking outweighs the
        duplicated build cost;
     3. **pack** — longest-processing-time greedy over bins into shards.
+
+    ``split_bias`` scales how eagerly phase 2 splits: the fleet engine
+    raises it when observed shard CPU times come back imbalanced (the cost
+    model under-predicted some label's methods, so the plan should split
+    finer next round) and decays it back toward 1.0 while rounds stay
+    balanced.
     """
     workers = max(1, workers)
     build_costs = build_costs or {}
@@ -149,7 +156,7 @@ def plan_shards(
 
     seq = len(bins)
     while len(bins) < workers:
-        candidate = _best_split(bins)
+        candidate = _best_split(bins, split_bias)
         if candidate is None:
             break
         bins.remove(candidate)
@@ -176,13 +183,15 @@ def plan_shards(
     return [s for s in shards if s.specs]
 
 
-def _best_split(bins: list[_Bin]) -> _Bin | None:
+def _best_split(bins: list[_Bin], split_bias: float = 1.0) -> _Bin | None:
     """The bin most worth halving, or None when no split pays for itself:
     halving saves ~check/2 of wall time on the critical path but costs one
-    extra app build."""
+    extra app build.  ``split_bias > 1`` (fed back from observed shard
+    imbalance) discounts the duplicated build cost, making splits easier
+    to justify."""
     candidates = [
         b for b in bins
-        if len(b.entries) > 1 and b.check_cost / 2 > b.build_cost
+        if len(b.entries) > 1 and b.check_cost * split_bias / 2 > b.build_cost
     ]
     if not candidates:
         return None

@@ -6,6 +6,23 @@ errors travel as plain ``(kind, message, line, method)`` tuples rather than
 exception instances because :class:`StaticTypeError`'s constructor formats
 its arguments (re-pickling the instance would re-format an already-formatted
 message and lose the structured ``line``/``method`` fields).
+
+Two vocabularies share this module:
+
+* the **one-shot** vocabulary (:class:`ShardTask` → :class:`ShardResult`):
+  a cold check, where the worker rebuilds each subject app pristine and
+  checks a method slice — stateless, any process can serve any task;
+* the **session** vocabulary (:class:`AttachUniverse` /
+  :class:`SessionDelta` / :class:`CheckRequest` …): warm workers keep live
+  label universes between rounds, receive schema-journal deltas and
+  post-build load records instead of rebuilding, and re-check only dirty
+  methods.  Session messages are routed to a *specific* worker process
+  (state lives there), so they carry a ``session_id`` and the worker side
+  is a dispatch loop (:func:`repro.parallel.worker.session_main`) rather
+  than a pure function.
+
+Schema deltas travel as :meth:`SchemaEvent.to_wire` tuples — the stable
+encoding shared with any future socket transport.
 """
 
 from __future__ import annotations
@@ -100,3 +117,109 @@ class ShardResult:
     check_s: float = 0.0      # wall time spent checking (worker-side)
     cpu_s: float = 0.0        # process CPU time for the whole shard
     pid: int = 0
+
+
+# ---------------------------------------------------------------------------
+# session vocabulary (warm workers)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AttachUniverse:
+    """Build (or rebuild, pristine) live label universes in a worker.
+
+    The session lifecycle's cold step: each label's subject app is built
+    from scratch, exactly like a one-shot shard rebuild, but the universes
+    then *stay alive* in the worker and subsequent :class:`SessionDelta`
+    messages keep them converged with the engine's universe.  Re-attaching
+    an existing session id replaces its replicas (crash recovery / journal
+    gaps fall back to this).
+    """
+
+    session_id: str
+    labels: tuple[str, ...]
+    backend: str | None = None
+
+
+@dataclass
+class AttachAck:
+    """Attach reply: the replica generations the engine must verify."""
+
+    session_id: str
+    generations: dict[str, int] = field(default_factory=dict)  # label -> gen
+    build_s: dict[str, float] = field(default_factory=dict)
+    pid: int = 0
+
+
+@dataclass(frozen=True)
+class SessionDelta:
+    """Converge a session's live replicas with the engine's universe.
+
+    ``events`` are :meth:`SchemaEvent.to_wire` tuples (the journal delta
+    since the worker's last synced generation), replayed against every
+    replica's live ``Database``; ``loads`` are post-pristine program
+    sources (method definition records), re-executed against every
+    replica's interpreter/registry.  After a successful delta the
+    replica's generation equals the engine universe's — which the ack
+    reports and the engine asserts.
+    """
+
+    session_id: str
+    events: tuple[tuple, ...] = ()
+    loads: tuple[str, ...] = ()
+
+
+@dataclass
+class DeltaAck:
+    """Delta reply: post-replay generations, for parity verification."""
+
+    session_id: str
+    generations: dict[str, int] = field(default_factory=dict)  # label -> gen
+    events_applied: int = 0
+    loads_applied: int = 0
+    pid: int = 0
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """Check a method slice against a session's live replicas.
+
+    The warm counterpart of :class:`ShardTask`: no rebuild happens — the
+    worker resolves each spec's label to its live replica and runs the
+    same ``check_one`` loop, returning a :class:`ShardResult` (with empty
+    ``build_s``, which is the whole point).
+    """
+
+    session_id: str
+    shard_id: int
+    specs: tuple[MethodSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class DetachSession:
+    """Drop one session's replicas (the worker process stays up)."""
+
+    session_id: str
+
+
+@dataclass
+class DetachAck:
+    session_id: str
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """End the worker's dispatch loop; the process exits cleanly."""
+
+
+@dataclass
+class SessionError:
+    """A request failed worker-side; the loop keeps serving.
+
+    The engine decides what the failure means: a replay divergence bounds
+    the delta (cold re-attach / serial fallback), an unknown session id
+    means the worker restarted, anything else is a bug surfaced verbatim.
+    """
+
+    session_id: str
+    request: str   # message class name
+    error: str     # "ExceptionType: message"

@@ -1,0 +1,176 @@
+"""Engine-side management of warm session workers.
+
+One :class:`SessionWorkerHandle` wraps one spawn-mode child process running
+:func:`repro.parallel.worker.session_main` over a private duplex pipe, plus
+the engine's bookkeeping about what that worker has seen: whether it holds
+the session's replicas, which schema generation it is synced to, and how
+many post-build load records it has applied.  :class:`SessionPool` owns a
+fixed-size fleet of handles and respawns dead ones (a respawned worker is
+blank — ``attached`` is false, so the engine cold-attaches it before use).
+
+Crash semantics: every request is a send + recv on the handle's pipe; if
+the child died, either call raises and the handle is marked dead —
+:class:`WorkerLost` — letting the engine re-plan the affected shard onto
+surviving workers instead of losing the round.  A worker-side failure that
+is *not* a crash comes back as a ``SessionError`` reply and is raised as
+:class:`SessionRequestFailed`, which the engine treats as "this delta
+cannot be bounded" (fall back / re-attach), never as a dead process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+
+from repro.parallel import worker as worker_mod
+from repro.parallel.protocol import SessionError, ShardResult, Shutdown
+
+_SESSION_COUNTER = itertools.count(1)
+
+
+def new_session_id() -> str:
+    """A process-unique session id (readable in logs and error messages)."""
+    return f"sess-{os.getpid()}-{next(_SESSION_COUNTER)}"
+
+
+class WorkerLost(RuntimeError):
+    """The worker process died (or its pipe broke) mid-conversation."""
+
+
+class SessionRequestFailed(RuntimeError):
+    """The worker is alive but could not serve a request."""
+
+    def __init__(self, reply: SessionError):
+        super().__init__(f"{reply.request} failed worker-side: {reply.error}")
+        self.reply = reply
+
+
+class SessionWorkerHandle:
+    """One live session worker process plus its sync bookkeeping."""
+
+    def __init__(self, ctx, index: int):
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=worker_mod.session_main, args=(child_conn,), daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.alive = True
+        # per-worker session sync state (the engine drives one session per
+        # pool; the wire protocol itself is keyed by session id and allows
+        # many)
+        self.attached = False
+        self.synced_generation = 0
+        self.loads_applied = 0
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid or 0
+
+    def request(self, message):
+        """One round-trip; raises WorkerLost / SessionRequestFailed."""
+        self.send(message)
+        return self.recv()
+
+    def send(self, message) -> None:
+        if not self.alive:
+            raise WorkerLost(f"worker {self.index} already marked dead")
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            self._lost()
+            raise WorkerLost(
+                f"worker {self.index} (pid {self.pid}) died on send: "
+                f"{exc!r}") from exc
+
+    def recv(self):
+        if not self.alive:
+            raise WorkerLost(f"worker {self.index} already marked dead")
+        try:
+            reply = self.conn.recv()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            self._lost()
+            raise WorkerLost(
+                f"worker {self.index} (pid {self.pid}) died before "
+                f"replying: {exc!r}") from exc
+        if isinstance(reply, SessionError):
+            raise SessionRequestFailed(reply)
+        return reply
+
+    def _lost(self) -> None:
+        self.alive = False
+        self.attached = False
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Graceful shutdown: ask the loop to exit, then reap the process."""
+        if self.alive:
+            try:
+                self.conn.send(Shutdown())
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            self.alive = False
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join(timeout=5)
+
+
+class SessionPool:
+    """A fixed-size fleet of session workers with respawn-on-death."""
+
+    def __init__(self, size: int):
+        self.size = max(1, size)
+        self._ctx = multiprocessing.get_context("spawn")
+        self.workers: list[SessionWorkerHandle] = []
+        self._next_index = 0  # never reused, so diagnostics stay unambiguous
+
+    def ensure(self) -> list[SessionWorkerHandle]:
+        """The pool at full strength: dead handles replaced by blank ones
+        (``attached`` false — the caller must cold-attach them)."""
+        self.workers = [h for h in self.workers if h.alive]
+        while len(self.workers) < self.size:
+            self.workers.append(
+                SessionWorkerHandle(self._ctx, self._next_index))
+            self._next_index += 1
+        return list(self.workers)
+
+    def live(self) -> list[SessionWorkerHandle]:
+        return [h for h in self.workers if h.alive]
+
+    def close(self) -> None:
+        for handle in self.workers:
+            handle.close()
+        self.workers = []
+
+
+@dataclass
+class WarmRun:
+    """Diagnostics for one warm ``recheck_dirty`` round."""
+
+    methods: int = 0                 # dirty/new methods shipped to workers
+    remote: bool = False             # False: nothing pending or fell back
+    fallback_reason: str | None = None
+    results: list[ShardResult] = field(default_factory=list)
+    wall_s: float = 0.0
+    plan_s: float = 0.0
+    sync_s: float = 0.0              # delta broadcast (events + loads)
+    retries: int = 0                 # shards re-planned after a worker loss
+
+    @property
+    def critical_path_s(self) -> float:
+        return max((r.cpu_s for r in self.results), default=0.0)
+
+    @property
+    def worker_cpu_s(self) -> float:
+        return sum(r.cpu_s for r in self.results)

@@ -2,12 +2,28 @@
 
 Runs inside a spawn-mode child process (every function here must be
 importable from a fresh interpreter — no closures, no inherited state).
-A worker receives a :class:`ShardTask`, rebuilds each subject app named by
-the shard's labels from scratch (the cold-check contract: workers verify
-pristine universes, exactly what a serial cold check of the same app sees),
-runs ``TypeChecker.check_one`` for every method in shard order, and ships
-back picklable verdicts together with the dependency footprints the checker
-recorded — so the parent can back-feed its incremental dependency graph.
+
+Two service styles share the checking loop:
+
+* **one-shot** (:func:`run_shard`): the worker receives a
+  :class:`ShardTask`, rebuilds each subject app named by the shard's
+  labels from scratch (the cold-check contract: workers verify pristine
+  universes, exactly what a serial cold check of the same app sees), runs
+  ``TypeChecker.check_one`` for every method in shard order, and ships
+  back picklable verdicts together with the dependency footprints the
+  checker recorded — so the parent can back-feed its incremental
+  dependency graph.
+
+* **session** (:func:`session_main`): a stateful dispatch loop over a
+  pipe, keyed by session id.  ``AttachUniverse`` builds live label
+  universes once; ``SessionDelta`` replays schema-journal events and
+  post-build load records against them (journal-replay parity: after a
+  delta the replica's generation and ``schema_hash()`` equal the
+  engine's); ``CheckRequest`` re-checks a method slice against the warm
+  replicas — no rebuild, which is what makes a post-migration
+  ``recheck_dirty`` round cheap at ``workers > 1``.  The loop also serves
+  plain :class:`ShardTask` messages, so a session worker can stand in for
+  a cold fleet worker.
 """
 
 from __future__ import annotations
@@ -15,10 +31,20 @@ from __future__ import annotations
 import os
 import time
 
+from repro.incremental.versioning import SchemaEvent
 from repro.parallel.protocol import (
+    AttachAck,
+    AttachUniverse,
+    CheckRequest,
+    DeltaAck,
+    DetachAck,
+    DetachSession,
     MethodVerdict,
+    SessionDelta,
+    SessionError,
     ShardResult,
     ShardTask,
+    Shutdown,
     encode_error,
 )
 
@@ -57,6 +83,116 @@ def run_shard(task: ShardTask) -> ShardResult:
         return rdl
 
     check_specs_into(result, resolve, task.specs)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# session service: a stateful dispatch loop keyed by session id
+# ---------------------------------------------------------------------------
+
+def session_main(conn) -> None:
+    """Serve session messages over ``conn`` until shutdown or EOF.
+
+    The spawn entry point for warm workers.  All state — the live label
+    universes, keyed by session id — lives in this loop's locals; a reply
+    is sent for every request (``SessionError`` on failure, so one bad
+    request never wedges the engine), and the loop only exits on
+    :class:`Shutdown`, a closed pipe, or a dead parent.
+    """
+    sessions: dict[str, dict[str, object]] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if isinstance(message, Shutdown):
+            break
+        try:
+            reply = _serve(sessions, message)
+        except Exception as exc:  # noqa: BLE001 — ship it, keep serving
+            reply = SessionError(
+                session_id=getattr(message, "session_id", ""),
+                request=type(message).__name__,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+def _serve(sessions: dict, message):
+    if isinstance(message, AttachUniverse):
+        return _attach(sessions, message)
+    if isinstance(message, SessionDelta):
+        return _apply_delta(sessions, message)
+    if isinstance(message, CheckRequest):
+        return _check_session(sessions, message)
+    if isinstance(message, DetachSession):
+        sessions.pop(message.session_id, None)
+        return DetachAck(session_id=message.session_id)
+    if isinstance(message, ShardTask):
+        return run_shard(message)  # the one-shot vocabulary still works
+    raise TypeError(f"unknown session message {type(message).__name__}")
+
+
+def _attach(sessions: dict, message: AttachUniverse) -> AttachAck:
+    from repro.apps import app_for_label
+
+    replicas: dict[str, object] = {}
+    ack = AttachAck(session_id=message.session_id, pid=os.getpid())
+    for label in message.labels:
+        build_start = time.perf_counter()
+        rdl = app_for_label(label).build(backend=message.backend)
+        ack.build_s[label] = time.perf_counter() - build_start
+        ack.generations[label] = rdl.db.version
+        replicas[label] = rdl
+    # replace atomically: a re-attach (crash recovery, journal gap) must
+    # not leave a half-updated session behind a failed build
+    sessions[message.session_id] = replicas
+    return ack
+
+
+def _session_of(sessions: dict, session_id: str) -> dict:
+    session = sessions.get(session_id)
+    if session is None:
+        raise KeyError(f"no attached session {session_id!r} "
+                       f"(worker pid {os.getpid()} was restarted?)")
+    return session
+
+
+def _apply_delta(sessions: dict, message: SessionDelta) -> DeltaAck:
+    session = _session_of(sessions, message.session_id)
+    events = [SchemaEvent.from_wire(record) for record in message.events]
+    ack = DeltaAck(session_id=message.session_id, pid=os.getpid())
+    for rdl in session.values():
+        # replicas already past some events skip them, so report the most
+        # any replica applied (not a per-replica overwrite or a sum)
+        ack.events_applied = max(ack.events_applied, rdl.db.replay(events))
+    for source in message.loads:
+        for rdl in session.values():
+            rdl.load(source)
+        ack.loads_applied += 1
+    ack.generations = {
+        label: rdl.db.version for label, rdl in session.items()
+    }
+    return ack
+
+
+def _check_session(sessions: dict, message: CheckRequest) -> ShardResult:
+    session = _session_of(sessions, message.session_id)
+    result = ShardResult(shard_id=message.shard_id, pid=os.getpid())
+
+    def resolve(label: str):
+        rdl = session.get(label)
+        if rdl is None:
+            raise KeyError(f"session {message.session_id!r} has no replica "
+                           f"for label {label!r}")
+        result.db_versions[label] = rdl.db.version
+        return rdl
+
+    check_specs_into(result, resolve, message.specs)
     return result
 
 

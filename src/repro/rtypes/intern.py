@@ -274,6 +274,64 @@ def _fp_key(t: RType) -> tuple:
 
 
 # ---------------------------------------------------------------------------
+# interned binding environments
+# ---------------------------------------------------------------------------
+
+#: structural env key (sorted (name, fingerprint) pairs) -> env id.  Same
+#: epoch-tagged never-recycled scheme as the type fingerprint table.
+_ENV_TABLE: dict[tuple, int] = {}
+#: identity fast path: sorted (name, id(type)) pairs -> env id, valid only
+#: for environments whose every binding is interned (the intern table holds
+#: strong references forever, so ``id`` is a stable proxy for structure)
+_ENV_ID_TABLE: dict[tuple, int] = {}
+_ENV_SPAN = 1 << 20
+_ENV_EPOCH = [0]
+
+#: the canonical id of the empty environment (issued eagerly so epoch
+#: flushes never renumber it)
+_EMPTY_ENV = 0
+
+
+def env_fingerprint(bindings: dict) -> int:
+    """A process-stable integer identifying a whole binding environment.
+
+    Comp binding environments (``tself`` plus the signature's type
+    variables) recur constantly during checking; this interns the *whole
+    dict* so memo keys like ``CompEvalCache.binding_key`` become one int.
+    Environments whose bindings are all interned types hit the identity
+    table — a single dict lookup on object ids, no structural walks; only
+    environments containing mutable (weak-update) types pay a per-type
+    :func:`fingerprint` each call, which is exactly the snapshot semantics
+    those types need (mutating a binding changes the env id).
+
+    Same id ⟺ same structure, forever (ids are epoch-tagged and never
+    recycled, like type fingerprints).
+    """
+    if not bindings:
+        return _EMPTY_ENV
+    items = sorted(bindings.items())
+    id_key: tuple | None = tuple(
+        (name, id(t)) for name, t in items
+    ) if all(t._interned for _, t in items) else None
+    if id_key is not None:
+        fp = _ENV_ID_TABLE.get(id_key)
+        if fp is not None:
+            return fp
+    key = tuple((name, fingerprint(t)) for name, t in items)
+    fp = _ENV_TABLE.get(key)
+    if fp is None:
+        if len(_ENV_TABLE) >= _ENV_SPAN:
+            _ENV_TABLE.clear()
+            _ENV_ID_TABLE.clear()
+            _ENV_EPOCH[0] += 1
+        fp = _ENV_EPOCH[0] * _ENV_SPAN + len(_ENV_TABLE) + 1
+        _ENV_TABLE[key] = fp
+    if id_key is not None:
+        _ENV_ID_TABLE[id_key] = fp
+    return fp
+
+
+# ---------------------------------------------------------------------------
 # fresh copies along mutable structure
 # ---------------------------------------------------------------------------
 

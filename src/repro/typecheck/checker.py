@@ -178,8 +178,8 @@ class TypeChecker:
                                      class_name, static, desc)
                 except StaticTypeError as error:
                     errors.append(error)
-        # observed cost feeds the parallel shard planner's cost model
-        self.engine.stats.method_costs[desc] = time.perf_counter() - check_start
+        # observed cost feeds the parallel shard planner's cost model (EWMA)
+        self.engine.stats.observe_cost(desc, time.perf_counter() - check_start)
         return (desc, errors,
                 self.report.casts_used - casts_before,
                 self.report.oracle_casts - oracle_before)

@@ -1,0 +1,149 @@
+"""Journal wire encoding: serialize → replay parity on both backends.
+
+Every :class:`SchemaEvent` kind must survive ``to_wire`` → ``from_wire`` →
+``Database.replay`` such that a replica converges with the locally-migrated
+database — same ``schema_hash()``, same generation, same journal stream.
+This is the soundness base of the warm worker sessions: a session delta is
+exactly such a wire-encoded event list.
+"""
+
+import pytest
+
+from repro.db.schema import Database
+from repro.incremental.versioning import ReplayError, SchemaEvent
+
+BACKENDS = ["memory", "sqlite"]
+
+
+def _schema_snapshot(db: Database) -> dict:
+    """A structural, backend-independent view of ``schema_hash()``."""
+    return {
+        key.name: value.to_s()
+        for key, value in db.schema_hash().pairs()
+    }
+
+
+def _migrate_every_kind(db: Database) -> None:
+    """One migration script covering every SchemaEvent kind."""
+    db.create_table("users", username="string", staged="boolean")
+    db.create_table("emails", address="string", user_id="integer")
+    db.add_column("users", "karma", "integer")          # add_column
+    db.rename_column("users", "karma", "reputation")    # rename_column
+    db.drop_column("users", "staged")                   # drop_column
+    db.declare_association("users", "emails")           # association
+    db.create_table("drafts", title="string")
+    db.rename_table("drafts", "posts")                  # rename_table
+    db.create_table("doomed", note="text")
+    db.drop_table("doomed")                             # drop_table
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_every_event_kind_round_trips_and_replays(backend):
+    source = Database(backend=backend)
+    _migrate_every_kind(source)
+    events = source.journal.events_since(0)
+    kinds = {event.kind for event in events}
+    assert kinds == {"create_table", "add_column", "rename_column",
+                     "drop_column", "association", "rename_table",
+                     "drop_table"}
+
+    wire = [event.to_wire() for event in events]
+    decoded = [SchemaEvent.from_wire(record) for record in wire]
+    assert decoded == events  # the encoding is lossless
+
+    replica = Database(backend=backend)
+    applied = replica.replay(decoded)
+    assert applied == len(events)
+    assert replica.version == source.version
+    assert _schema_snapshot(replica) == _schema_snapshot(source)
+    assert replica.associations == source.associations
+    # the replica's own journal mirrors the source's stream
+    assert replica.journal.events_since(0) == events
+
+
+@pytest.mark.parametrize("source_backend", BACKENDS)
+@pytest.mark.parametrize("replica_backend", BACKENDS)
+def test_replay_converges_across_backends(source_backend, replica_backend):
+    # the wire format is backend-neutral: events recorded against one
+    # engine replay onto the other and produce the same checker-visible
+    # schema (this is what lets a memory-backed engine drive sqlite
+    # session replicas and vice versa)
+    source = Database(backend=source_backend)
+    _migrate_every_kind(source)
+    replica = Database(backend=replica_backend)
+    replica.replay(SchemaEvent.from_wire(e.to_wire())
+                   for e in source.journal.events_since(0))
+    assert _schema_snapshot(replica) == _schema_snapshot(source)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_partial_replay_from_a_synced_generation(backend):
+    # a replica already synced through generation N applies only the tail —
+    # the session engine's steady-state delta
+    source = Database(backend=backend)
+    source.create_table("users", username="string")
+    replica = Database(backend=backend)
+    replica.replay(e for e in source.journal.events_since(0))
+    synced = replica.version
+
+    source.add_column("users", "bio", "text")
+    source.rename_column("users", "bio", "about")
+    delta = source.journal.events_since(synced)
+    assert len(delta) == 2
+    assert replica.replay(delta) == 2
+    assert _schema_snapshot(replica) == _schema_snapshot(source)
+
+    # idempotence: replaying the same delta again is a no-op
+    assert replica.replay(delta) == 0
+    assert replica.version == source.version
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_replay_detects_divergence(backend):
+    source = Database(backend=backend)
+    source.create_table("users", username="string")
+    source.drop_column("users", "username")
+    events = source.journal.events_since(0)
+
+    # a replica missing the prefix cannot apply the tail
+    gapped = Database(backend=backend)
+    with pytest.raises(ReplayError):
+        gapped.replay(events[1:])
+
+    # a replica whose state contradicts an event (the column to drop does
+    # not exist, so the drop no-ops without a generation bump) diverged
+    diverged = Database(backend=backend)
+    diverged.create_table("users", handle="string")
+    with pytest.raises(ReplayError):
+        diverged.replay(events[1:])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_replay_handles_column_names_that_shadow_parameters(backend):
+    # the wire contract allows column names the **kwargs form of
+    # create_table could never record ("table_name"/"self" collide with
+    # its parameters); replay must not route payloads back through kwargs
+    event = SchemaEvent(
+        "create_table", 1, "audits",
+        payload=(("id", "integer"), ("table_name", "string"),
+                 ("self", "string")))
+    replica = Database(backend=backend)
+    assert replica.replay([SchemaEvent.from_wire(event.to_wire())]) == 1
+    assert list(replica.tables["audits"].columns) == \
+        ["id", "table_name", "self"]
+    replica.insert("audits", {"table_name": "users", "self": "x"})
+    assert replica.all_rows("audits")[0]["table_name"] == "users"
+
+
+def test_payloads_carry_what_replay_needs():
+    db = Database()
+    db.create_table("users", username="string")
+    db.add_column("users", "karma", "integer")
+    create, add = db.journal.events_since(0)
+    assert create.payload == (("id", "integer"), ("username", "string"))
+    assert add.payload == ("integer",)
+    # wire records are plain tuples of plain values (socket-transport safe)
+    for event in (create, add):
+        record = event.to_wire()
+        assert isinstance(record, tuple)
+        assert SchemaEvent.from_wire(record) == event

@@ -1,5 +1,7 @@
 """Unit tests for the shard planner and the wire protocol (no processes)."""
 
+import pytest
+
 from repro.incremental.stats import IncrementalStats
 from repro.parallel import MethodSpec, method_cost, plan_shards
 from repro.parallel.planner import (
@@ -100,6 +102,75 @@ def test_single_worker_gets_everything_in_serial_order():
     shards = plan_shards(specs, workers=1)
     assert len(shards) == 1
     assert shards[0].specs == specs
+
+
+# ---------------------------------------------------------------------------
+# EWMA cost model + imbalance feedback
+# ---------------------------------------------------------------------------
+
+def test_observe_cost_is_an_ewma_not_last_observation():
+    from repro.incremental.stats import COST_EWMA_ALPHA
+
+    stats = IncrementalStats()
+    assert stats.observe_cost("C#m", 0.10) == pytest.approx(0.10)
+    updated = stats.observe_cost("C#m", 0.20)
+    # a single outlier moves the estimate toward — not onto — the new value
+    expected = COST_EWMA_ALPHA * 0.20 + (1 - COST_EWMA_ALPHA) * 0.10
+    assert updated == pytest.approx(expected)
+    assert 0.10 < stats.method_costs["C#m"] < 0.20
+    # repeated observations converge
+    for _ in range(30):
+        stats.observe_cost("C#m", 0.20)
+    assert stats.method_costs["C#m"] == pytest.approx(0.20, rel=1e-3)
+
+
+def test_split_bias_loosens_the_split_threshold():
+    # check/2 (= 0.06) < build (= 0.08): no split at bias 1.0 ...
+    stats = IncrementalStats()
+    specs = _specs("hot", 4)
+    for spec in specs:
+        stats.method_costs[spec.desc] = 0.03
+    build_costs = {"hot": 0.08}
+    assert len(plan_shards(specs, workers=2, stats=stats,
+                           build_costs=build_costs)) == 1
+    # ... but a skew-fed bias of 2 discounts the duplicated build
+    assert len(plan_shards(specs, workers=2, stats=stats,
+                           build_costs=build_costs, split_bias=2.0)) == 2
+
+
+def test_engine_absorbs_shard_imbalance_and_rebalances():
+    from repro.parallel import ParallelCheckEngine
+    from repro.parallel.engine import SPLIT_BIAS_MAX
+    from repro.parallel.protocol import ShardResult
+
+    engine = ParallelCheckEngine(workers=2)
+    stats = engine.stats
+    specs = _specs("hot", 4)
+    for spec in specs:
+        stats.method_costs[spec.desc] = 0.03
+    engine.build_costs["hot"] = 0.08
+    plan = lambda: plan_shards(  # noqa: E731 — the engine's own plan inputs
+        specs, 2, stats=stats, build_costs=engine.build_costs,
+        split_bias=engine.split_bias)
+    assert len(plan()) == 1  # cost model says splitting doesn't pay
+
+    # a skewed round: one shard's CPU dwarfs the other's
+    engine._absorb_costs([
+        ShardResult(shard_id=0, cpu_s=0.40),
+        ShardResult(shard_id=1, cpu_s=0.02),
+    ])
+    assert engine.split_bias > 1.0
+    assert engine.split_bias <= SPLIT_BIAS_MAX
+    assert len(plan()) == 2  # the planner now splits the hot label
+
+    # balanced rounds decay the bias back toward neutral
+    for _ in range(20):
+        engine._absorb_costs([
+            ShardResult(shard_id=0, cpu_s=0.10),
+            ShardResult(shard_id=1, cpu_s=0.10),
+        ])
+    assert engine.split_bias == pytest.approx(1.0)
+    engine.close()
 
 
 # ---------------------------------------------------------------------------

@@ -146,3 +146,46 @@ def test_subtype_agrees_on_interned_pairs_and_memoizes():
     assert subtype(s, t)  # memoized second query
     assert not subtype(t, s)
     assert subtype(intern(parse_type("Array<Integer>")), intern(parse_type("Array<Integer>")))
+
+
+# ---------------------------------------------------------------------------
+# interned binding environments
+# ---------------------------------------------------------------------------
+
+def test_env_fingerprint_interns_whole_binding_dicts():
+    from repro.rtypes.intern import env_fingerprint
+
+    a = {"tself": intern(NominalType("User")),
+         "t": intern(NominalType("Integer"))}
+    b = {"t": intern(NominalType("Integer")),
+         "tself": intern(NominalType("User"))}  # different insertion order
+    assert env_fingerprint(a) == env_fingerprint(b)
+    assert env_fingerprint(a) != env_fingerprint(
+        {"tself": intern(NominalType("Email"))})
+    assert env_fingerprint({}) == env_fingerprint({})
+    # a fresh structurally-equal environment (new dict, re-interned types)
+    # resolves to the same id
+    c = {"tself": intern(NominalType("User")),
+         "t": intern(NominalType("Integer"))}
+    assert env_fingerprint(c) == env_fingerprint(a)
+
+
+def test_env_fingerprint_snapshots_mutable_bindings():
+    from repro.rtypes.intern import env_fingerprint
+
+    fh = FiniteHashType({Sym("id"): NominalType("Integer")})
+    env = {"tself": fh}
+    before = env_fingerprint(env)
+    assert env_fingerprint({"tself": FiniteHashType(
+        {Sym("id"): NominalType("Integer")})}) == before
+    fh.widen_key(Sym("id"), NominalType("String"))
+    assert env_fingerprint(env) != before  # mutation changes the env id
+
+
+def test_binding_key_is_a_single_int():
+    from repro.incremental.cache import binding_key
+
+    key = binding_key({"tself": intern(NominalType("User"))})
+    assert isinstance(key, int)
+    assert binding_key({"tself": intern(NominalType("User"))}) == key
+    assert binding_key({}) != key
