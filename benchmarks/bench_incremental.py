@@ -88,7 +88,9 @@ def bench_app(app, rounds: int = ROUNDS) -> dict:
         assert sorted(warm_report.checked_methods) == \
             sorted(fresh_report.checked_methods)
 
-    stats = rdl.incremental_stats
+    # the stable-key snapshot, not the live object: JSON-ready, and the
+    # keys are the same ones obs.metrics_snapshot / summary.json report
+    stats = rdl.incremental_stats.snapshot()
     return {
         "app": app.name,
         "methods": len(baseline.checked_methods),
@@ -98,7 +100,7 @@ def bench_app(app, rounds: int = ROUNDS) -> dict:
         "cold_s": cold_total / rounds,
         "warm_s": warm_total / rounds,
         "speedup": (cold_total / warm_total) if warm_total else float("inf"),
-        "hit_rate": stats.comp_hit_rate,
+        "hit_rate": stats["comp_cache.hit_rate"],
         "stats": stats,
     }
 
@@ -128,8 +130,8 @@ def main() -> int:
     print("aggregate cache statistics (per app):")
     for row in rows:
         print(f"  {row['app']}:")
-        for line in row["stats"].summary().splitlines():
-            print(f"    {line}")
+        for key in sorted(row["stats"]):
+            print(f"    {key} = {row['stats'][key]}")
 
     json_path = os.environ.get(JSON_ENV)
     if json_path:
@@ -137,10 +139,7 @@ def main() -> int:
             "benchmark": "incremental_recheck",
             "rounds": ROUNDS,
             "overall_speedup": overall,
-            "apps": [
-                {k: v for k, v in row.items() if k != "stats"}
-                for row in rows
-            ],
+            "apps": rows,
         }
         with open(json_path, "w") as handle:
             json.dump(payload, handle, indent=2)

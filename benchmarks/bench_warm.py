@@ -124,10 +124,13 @@ def bench_app(app, rounds: int, workers: int) -> dict | None:
         methods_rechecked += run.methods
         remote_rounds += 1 if run.remote else 0
     total_methods = len(warm.incremental.keys_for([app.label]))
+    # stable-key counters for the artifact (same keys as metrics_snapshot)
+    stats = warm.incremental_stats.snapshot()
     warm.shutdown_warm()
 
     return {
         "label": app.label,
+        "stats": stats,
         "migration_table": table,
         "methods_total": total_methods,
         "methods_rechecked_per_round": methods_rechecked / rounds,

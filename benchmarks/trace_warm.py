@@ -1,0 +1,86 @@
+"""Capture a Chrome trace of warm session rechecks across a worker fleet.
+
+Every table-backed subject app is built, fully checked, migrated (one probe
+column on its busiest table), and re-verified through warm session workers
+(``recheck_dirty(workers=N)``).  The whole run is traced with
+:mod:`repro.obs` — engine spans and the spans each worker shipped back on
+its protocol replies — and exported as Chrome ``trace_event`` JSON that
+loads directly at https://ui.perfetto.dev.
+
+The committed copy at ``benchmarks/results/trace_warm.json`` is the repo's
+reference trace: it must contain spans from at least two distinct worker
+processes (exit 1 otherwise), which is also what CI asserts when it
+re-captures one as an artifact.
+
+Run: ``PYTHONPATH=src python benchmarks/trace_warm.py
+[--workers N] [--json PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro import obs
+from repro.apps import all_apps
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "results",
+                           "trace_warm.json")
+PROBE_COLUMN = "trace_probe"
+
+
+def capture(workers: int) -> dict:
+    """Trace one migrate -> warm-recheck round per table-backed app;
+    returns the final universe's metrics snapshot."""
+    snapshot: dict = {}
+    for app in all_apps():
+        rdl = app.build()
+        rdl.check_all(app.label)
+        fanout = rdl.incremental.table_fanout()
+        table = max(sorted(t for t in fanout if t in rdl.db.tables),
+                    key=lambda t: fanout[t], default=None)
+        if table is None:
+            continue  # table-less API-client app: no delta to ship
+        rdl.db.add_column(table, PROBE_COLUMN, "string")
+        rdl.recheck_dirty(workers=workers)
+        snapshot = rdl.metrics_snapshot()
+        rdl.shutdown_warm()
+    return snapshot
+
+
+def main() -> int:
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument("--workers", type=int, default=4,
+                     help="warm session worker count (default 4)")
+    cli.add_argument("--json", default=DEFAULT_OUT,
+                     help=f"trace output path (default {DEFAULT_OUT})")
+    options = cli.parse_args()
+
+    obs.enable()
+    obs.drain(0)  # a fresh timeline: nothing traced before the capture
+    snapshot = capture(options.workers)
+    path = obs.export_chrome_trace(options.json, metrics=snapshot)
+
+    events = obs.events()
+    engine_pid = os.getpid()
+    worker_pids = sorted({e["pid"] for e in events} - {engine_pid})
+    print(obs.render_summary())
+    print(f"\n{len(events)} events; engine pid {engine_pid}, "
+          f"worker pids {worker_pids}")
+    print(f"trace written to {path} (load it at https://ui.perfetto.dev)")
+
+    # sanity-check the artifact the way a consumer would: re-read it
+    with open(path) as handle:
+        doc = json.load(handle)
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    if len(worker_pids) < 2:
+        print(f"FAIL: expected spans from >= 2 worker processes, "
+              f"got {worker_pids}")
+        return 1
+    print(f"PASS: spans from {len(worker_pids)} worker processes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

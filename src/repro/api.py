@@ -24,6 +24,7 @@ Example::
 
 from __future__ import annotations
 
+from repro import obs
 from repro.annotations import install_all
 from repro.comp.reflect import install_type_reflection
 from repro.db.schema import Database
@@ -47,11 +48,17 @@ class CompRDL:
         install_libraries: bool = True,
         repair_with_casts: bool = False,
         backend: str | None = None,
+        trace: bool | None = None,
     ):
         if db is not None and backend is not None:
             raise ValueError(
                 "pass either db= (an existing Database) or backend= "
                 "(a storage backend name for a fresh one), not both")
+        # trace=True/False flips the process-wide repro.obs switch (spans
+        # are process-scoped, not per-universe); None leaves it alone, so
+        # the REPRO_TRACE default and explicit obs.enable() calls survive
+        if trace is not None:
+            obs.set_enabled(trace)
         self.interp = Interp()
         self.registry = AnnotationRegistry()
         self.interp.registry = self.registry
@@ -100,7 +107,9 @@ class CompRDL:
         """Execute a mini-Ruby program (defining classes and annotations)."""
         before = len(self._method_event_log)
         version_before = self.db.version if self.db is not None else 0
-        result = self.interp.run(source)
+        with obs.span("universe.load") as sp:
+            sp.set("bytes", len(source))
+            result = self.interp.run(source)
         # every source is a replayable definition record: a load that only
         # defines a class (no method events) still shapes later verdicts,
         # so warm replicas must replay it too
@@ -240,6 +249,21 @@ class CompRDL:
     def incremental_stats(self) -> IncrementalStats:
         """Cache hit/miss and scheduling counters for this universe."""
         return self.checker.engine.stats
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """One flat dict of every layer's counters with stable keys: this
+        universe's :class:`IncrementalStats` plus the process-wide VM
+        inline-cache, intern-table and obs counters."""
+        return obs.metrics_snapshot(self.incremental_stats)
+
+    def export_trace(self, path: str) -> str:
+        """Write the buffered trace (this process + absorbed worker spans)
+        as Chrome ``trace_event`` JSON, with this universe's metrics
+        snapshot attached; returns ``path``."""
+        return obs.export_chrome_trace(path, metrics=self.metrics_snapshot())
 
     # ------------------------------------------------------------------
     def run(self, source: str, checks: bool | None = None):

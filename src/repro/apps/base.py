@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.db.schema import Database
+from repro.obs.spans import span
 from repro.rtypes.kinds import Sym
 from repro.runtime.objects import RArray, RHash, RMethod, RString
 
@@ -33,12 +34,14 @@ class SubjectApp:
         """
         from repro.api import CompRDL
 
-        db = Database(backend=backend)
-        self.setup_db(db)
-        rdl = CompRDL(db=db, **kwargs)
-        install_json(rdl.interp)
-        rdl.load(self.source)
-        rdl.mark_pristine()  # everything above is reproducible from scratch
+        with span("universe.build", label=self.label) as sp:
+            db = Database(backend=backend)
+            self.setup_db(db)
+            sp.set("backend", db.backend_name)
+            rdl = CompRDL(db=db, **kwargs)
+            install_json(rdl.interp)
+            rdl.load(self.source)
+            rdl.mark_pristine()  # everything above is reproducible from scratch
         return rdl
 
     def source_loc(self) -> int:

@@ -19,6 +19,8 @@ lets the incremental scheduler re-check only dirty methods.
 from __future__ import annotations
 
 from repro.incremental.cache import AstCache, CompEvalCache, binding_key
+from repro.obs.spans import bump, span
+from repro.obs.state import ENABLED as _OBS_ON
 from repro.incremental.deps import DependencyTracker
 from repro.incremental.stats import IncrementalStats
 from repro.lang.parser import parse_program
@@ -103,40 +105,48 @@ class CompEngine:
         bkey = binding_key(bindings)
         entry = self.cache.lookup(comp.code, bkey, generation, self._journal())
         if entry is not None:
+            # a bare counter, not a span: the hit path is the microloop the
+            # perf budget guards, so disabled runs must not even call span()
+            if _OBS_ON[0]:
+                bump("comp.eval.hits")
             self.deps.note_tables(entry.tables)
             return _fresh(entry.value)
 
-        program = self.asts.get(comp.code)
-        if program is None:
-            try:
-                program = parse_program(comp.code)
-            except Exception as exc:
-                raise self._comp_error(
-                    f"comp type does not parse: {exc}", line, context)
-            self.termination.check_comp_code(program, comp.code)
-            self.asts.store(comp.code, program)
+        # a miss pays a parse and/or an interpreter run (~hundreds of µs),
+        # so a span here is in the noise — and is the interesting signal
+        with span("comp.eval", label=context or comp.code) as sp:
+            program = self.asts.get(comp.code)
+            if program is None:
+                sp.set("parsed", True)
+                try:
+                    program = parse_program(comp.code)
+                except Exception as exc:
+                    raise self._comp_error(
+                        f"comp type does not parse: {exc}", line, context)
+                self.termination.check_comp_code(program, comp.code)
+                self.asts.store(comp.code, program)
 
-        env = Env()
-        env.vars.update(bindings)
-        frame = Frame(self.interp.main, env,
-                      defining_class=self.interp.classes["Object"])
-        with self.deps.capture() as scope:
-            try:
-                result = self.interp.execute_program(program, frame)
-            except RaiseSignal as sig:
-                raise self._comp_error(
-                    f"comp type evaluation raised {sig.exc.rclass.name}: "
-                    f"{sig.exc.message}", line, context)
-            except RubyError as exc:
-                raise self._comp_error(
-                    f"comp type evaluation failed: {exc}", line, context)
-            try:
-                value = to_rtype(self.interp, result)
-            except RubyError:
-                raise self._comp_error(
-                    f"comp type did not evaluate to a type (got {result!r})",
-                    line, context)
-        self.cache.store(comp.code, bkey, generation, scope.tables, value)
+            env = Env()
+            env.vars.update(bindings)
+            frame = Frame(self.interp.main, env,
+                          defining_class=self.interp.classes["Object"])
+            with self.deps.capture() as scope:
+                try:
+                    result = self.interp.execute_program(program, frame)
+                except RaiseSignal as sig:
+                    raise self._comp_error(
+                        f"comp type evaluation raised {sig.exc.rclass.name}: "
+                        f"{sig.exc.message}", line, context)
+                except RubyError as exc:
+                    raise self._comp_error(
+                        f"comp type evaluation failed: {exc}", line, context)
+                try:
+                    value = to_rtype(self.interp, result)
+                except RubyError:
+                    raise self._comp_error(
+                        f"comp type did not evaluate to a type "
+                        f"(got {result!r})", line, context)
+            self.cache.store(comp.code, bkey, generation, scope.tables, value)
         # the first caller must not alias the cache entry either: weak
         # updates widen types in place, which would pollute later hits
         return _fresh(value)

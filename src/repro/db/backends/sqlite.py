@@ -32,6 +32,7 @@ import sqlite3
 from typing import Callable
 
 from repro.db.backends.base import StorageBackend
+from repro.obs.spans import span
 
 #: repro column kind → sqlite declared type.  The declared names are chosen
 #: so the reverse mapping below is a bijection for our kinds *and* each
@@ -108,8 +109,9 @@ class SqliteBackend(StorageBackend):
         """One table's schema, as sqlite reports it (``PRAGMA table_info``)."""
         from repro.db.schema import Column, TableSchema
 
-        info = self.conn.execute(
-            f"PRAGMA table_info({_quote(table)})").fetchall()
+        with span("db.sqlite.introspect", label=table):
+            info = self.conn.execute(
+                f"PRAGMA table_info({_quote(table)})").fetchall()
         columns = {
             name: Column(name, kind_from_declared(declared))
             for (_cid, name, declared, _notnull, _default, _pk) in info
@@ -129,8 +131,9 @@ class SqliteBackend(StorageBackend):
             f"{_quote(column.name)} {_KIND_TO_SQL.get(column.kind, 'VARCHAR')}"
             for column in columns
         )
-        self.conn.execute(f"CREATE TABLE {_quote(table)} ({defs})")
-        self.conn.commit()
+        with span("db.sqlite.ddl", label=f"create_table {table}"):
+            self.conn.execute(f"CREATE TABLE {_quote(table)} ({defs})")
+            self.conn.commit()
         self._refresh(table)
 
     def drop_table(self, table) -> None:

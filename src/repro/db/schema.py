@@ -15,6 +15,8 @@ from repro.incremental.versioning import (
     SchemaEvent,
     SchemaJournal,
 )
+from repro.obs.spans import bump, event, span
+from repro.obs.state import ENABLED as _OBS_ON
 from repro.rtypes import FiniteHashType, GenericType, NominalType, RType
 from repro.rtypes.kinds import Sym
 from repro.runtime.objects import RHash, RString
@@ -172,10 +174,15 @@ class Database:
                  detail: str | None = None,
                  payload: tuple | None = None) -> None:
         self.version += 1
-        event = SchemaEvent(kind, self.version, table, column, detail, payload)
-        self.journal.record(event)
+        schema_event = SchemaEvent(kind, self.version, table, column, detail,
+                                   payload)
+        self.journal.record(schema_event)
+        if _OBS_ON[0]:
+            bump(f"db.{self.backend.name}.migrations")
+            event("db.migrate", args={"kind": kind, "table": table,
+                                      "generation": self.version})
         for listener in self.change_listeners:
-            listener(event)
+            listener(schema_event)
 
     # -- schema -----------------------------------------------------------
     def create_table(self, table_name: str, **columns: str) -> TableSchema:
@@ -304,19 +311,23 @@ class Database:
         further can be trusted.  Returns the number of events applied.
         """
         applied = 0
-        for event in events:
-            if event.generation <= self.version:
-                continue
-            if event.generation != self.version + 1:
-                raise ReplayError(
-                    f"cannot replay {event.describe()}: replica is at "
-                    f"generation {self.version} (event stream has a gap)")
-            self._apply_event(event)
-            if self.version != event.generation:
-                raise ReplayError(
-                    f"replay of {event.describe()} left the replica at "
-                    f"generation {self.version} — replica diverged")
-            applied += 1
+        with span("db.replay") as sp:
+            for replay_event in events:
+                if replay_event.generation <= self.version:
+                    continue
+                if replay_event.generation != self.version + 1:
+                    raise ReplayError(
+                        f"cannot replay {replay_event.describe()}: replica is "
+                        f"at generation {self.version} (event stream has a "
+                        f"gap)")
+                self._apply_event(replay_event)
+                if self.version != replay_event.generation:
+                    raise ReplayError(
+                        f"replay of {replay_event.describe()} left the "
+                        f"replica at generation {self.version} — replica "
+                        f"diverged")
+                applied += 1
+            sp.set("applied", applied)
         return applied
 
     def _apply_event(self, event: SchemaEvent) -> None:
@@ -381,10 +392,14 @@ class Database:
         elif schema.column("id") is not None:
             row["id"] = self._next_ids.setdefault(table, 1)
             self._next_ids[table] += 1
+        if _OBS_ON[0]:
+            bump(f"db.{self.backend.name}.insert")
         self.backend.insert(table, row)
         return row
 
     def all_rows(self, table: str) -> list[dict]:
+        if _OBS_ON[0]:
+            bump(f"db.{self.backend.name}.select")
         return self.backend.all_rows(table)
 
     def update_rows(self, table: str, predicate, updates: dict) -> int:
@@ -392,6 +407,8 @@ class Database:
         schema = self.backend.tables.get(table)
         if schema is not None:
             self._validate_columns(table, schema, updates)
+        if _OBS_ON[0]:
+            bump(f"db.{self.backend.name}.update")
         return self.backend.update_rows(table, predicate, updates)
 
     @staticmethod
@@ -405,6 +422,8 @@ class Database:
                 raise KeyError(f"no column {name!r} in table {table!r}")
 
     def delete_rows(self, table: str, predicate) -> int:
+        if _OBS_ON[0]:
+            bump(f"db.{self.backend.name}.delete")
         return self.backend.delete_rows(table, predicate)
 
     def clear(self, table: str | None = None) -> None:

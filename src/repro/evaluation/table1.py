@@ -212,7 +212,16 @@ if __name__ == "__main__":
                      help="also demo warm session rechecks: migrate each "
                           "app's busiest table and re-verify only the "
                           "dirty methods on live worker replicas")
+    cli.add_argument("--trace", metavar="PATH", default=None,
+                     help="record a repro.obs trace of everything this run "
+                          "does (engine + workers) and export it as Chrome "
+                          "trace_event JSON at PATH; also prints the "
+                          "per-phase summary table")
     options = cli.parse_args()
+    if options.trace:
+        import repro.obs as obs
+
+        obs.enable()
     print(render_table1())
     # --backend only affects the app universes, so it implies --check-apps
     if options.check_apps or options.workers > 1 or options.backend:
@@ -221,3 +230,9 @@ if __name__ == "__main__":
     if options.warm:
         print(render_warm_recheck(max(2, options.workers),
                                   backend=options.backend))
+    if options.trace:
+        obs.export_chrome_trace(options.trace, metrics=obs.metrics_snapshot())
+        print()
+        print(obs.render_summary())
+        print(f"\ntrace written to {options.trace} "
+              f"(load it at https://ui.perfetto.dev)")

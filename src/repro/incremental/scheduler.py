@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.incremental.versioning import TWO_TABLE_KINDS, SchemaEvent
+from repro.obs.spans import span
 from repro.typecheck.errors import StaticTypeError, TypeErrorReport
 
 
@@ -99,9 +100,12 @@ class IncrementalScheduler:
         """A report covering ``keys`` in order: dirty or never-checked
         methods are (re)verified against the live universe, clean cached
         verdicts are reused as-is."""
-        report = TypeErrorReport()
-        for key in keys:
-            self._ensure(key, report)
+        keys = list(keys)
+        with span("incremental.resolve") as sp:
+            sp.set("methods", len(keys))
+            report = TypeErrorReport()
+            for key in keys:
+                self._ensure(key, report)
         return report
 
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ many method re-checks were skipped.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 #: weight of the newest observation in the per-method cost EWMA.  One noisy
@@ -15,6 +16,15 @@ from dataclasses import dataclass, field
 #: genuine cost shift should dominate within a few rounds: at 0.4 the last
 #: three observations carry ~78% of the weight.
 COST_EWMA_ALPHA = 0.4
+
+#: free-form ``extra`` counter -> its stable snapshot key.  Extras the map
+#: does not know land under ``extra.<key>`` so nothing is silently dropped.
+_EXTRA_KEYS = {
+    "split_bias": "planner.split_bias",
+    "warm_worker_retries": "warm.retries",
+    "warm_fallbacks": "warm.fallbacks",
+    "warm_fallback_reason": "warm.fallback_reason",
+}
 
 
 @dataclass
@@ -83,6 +93,44 @@ class IncrementalStats:
     def method_reuse_rate(self) -> float:
         total = self.methods_checked + self.methods_skipped
         return self.methods_skipped / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """The counters as a flat dict with **stable** dotted key names.
+
+        These keys are the public contract consumed by benchmarks,
+        ``obs.metrics_snapshot()`` and downstream charting — rename only
+        with a deprecation story.  Extra (free-form) counters appear under
+        their mapped names (see ``_EXTRA_KEYS``) or ``extra.<key>``.
+        """
+        snap = {
+            "comp_cache.hits": self.comp_hits,
+            "comp_cache.misses": self.comp_misses,
+            "comp_cache.hit_rate": round(self.comp_hit_rate, 4),
+            "comp_cache.revalidations": self.comp_revalidations,
+            "comp_cache.invalidations": self.comp_invalidations,
+            "comp_cache.evictions": self.comp_evictions,
+            "ast_cache.hits": self.ast_hits,
+            "ast_cache.misses": self.ast_misses,
+            "ast_cache.hit_rate": round(self.ast_hit_rate, 4),
+            "methods.checked": self.methods_checked,
+            "methods.skipped": self.methods_skipped,
+            "methods.dirtied": self.methods_dirtied,
+            "methods.reuse_rate": round(self.method_reuse_rate, 4),
+            "methods.checked_parallel": self.methods_checked_parallel,
+            "schema.events": self.schema_events,
+            "fleet.shards": self.parallel_shards,
+            "fleet.rounds": self.parallel_rounds,
+            "planner.split_bias": 1.0,
+            "planner.cost_model_size": len(self.method_costs),
+            "warm.retries": 0,
+            "warm.fallbacks": 0,
+        }
+        for key, value in self.extra.items():
+            snap[_EXTRA_KEYS.get(key, f"extra.{key}")] = value
+        return snap
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True)
 
     def summary(self) -> str:
         parallel = ""

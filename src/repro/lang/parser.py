@@ -22,6 +22,7 @@ from collections import OrderedDict
 from repro.lang import ast_nodes as ast
 from repro.lang.errors import ParseError
 from repro.lang.lexer import Lexer, Token
+from repro.obs.spans import span
 
 # Binary operators that desugar to method calls, grouped by precedence
 # (loosest first).
@@ -66,8 +67,10 @@ def parse_program(source: str, use_cache: bool = True) -> ast.Program:
         if program is not None:
             _PROGRAM_CACHE.move_to_end(source)
             return program
-    tokens = Lexer(source).tokenize()
-    program = _Parser(tokens).parse()
+    with span("parse.program") as sp:
+        sp.set("bytes", len(source))
+        tokens = Lexer(source).tokenize()
+        program = _Parser(tokens).parse()
     if use_cache:
         _PROGRAM_CACHE[source] = program
         while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAX:

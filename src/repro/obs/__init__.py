@@ -1,0 +1,91 @@
+"""``repro.obs`` — unified tracing and metrics for the whole checker stack.
+
+One subsystem answers "where does a check round spend its time" across every
+layer grown so far: parse/compile, universe construction, comp evaluation
+(hit vs. miss), subtype queries, the shard planner, cold-fleet shard
+execution, warm-session attach/delta/recheck, and the storage backends.
+
+Usage::
+
+    import repro.obs as obs
+
+    obs.enable()
+    rdl = CompRDL(...); rdl.load(src); rdl.check_all()
+    obs.export_chrome_trace("trace.json")     # load in Perfetto
+    print(obs.render_summary())               # per-phase table
+    print(obs.metrics_snapshot(rdl.incremental_stats))
+
+or set ``REPRO_TRACE=1`` (record; export via API) / ``REPRO_TRACE=path.json``
+(record and auto-export there at process exit).  Tracing defaults to *off*
+and costs nothing when off — see :mod:`repro.obs.spans`.
+
+Spans recorded inside worker processes are shipped back piggybacked on the
+parallel protocol's replies and merged into the engine's buffer with their
+own pid, so one exported trace shows the whole fleet on a shared
+``perf_counter`` timeline.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    chrome_trace,
+    export_chrome_trace,
+    phase_summary,
+    render_summary,
+)
+from repro.obs.metrics import metrics_snapshot
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    absorb,
+    buffered,
+    bump,
+    counters,
+    disable,
+    drain,
+    enable,
+    enabled,
+    env_enabled,
+    env_trace_path,
+    event,
+    events,
+    mark,
+    reset,
+    set_enabled,
+    span,
+    traced,
+)
+
+__all__ = [
+    "NULL_SPAN", "Span", "absorb", "buffered", "bump", "chrome_trace",
+    "counters", "disable", "drain", "enable", "enabled", "env_enabled",
+    "env_trace_path", "event", "events", "export_chrome_trace", "mark",
+    "metrics_snapshot", "phase_summary", "render_summary", "reset",
+    "set_enabled", "span", "traced",
+]
+
+
+def _bootstrap_from_env() -> None:
+    """Honour ``REPRO_TRACE`` at import: enable recording, and when the
+    value names a path, export there at exit — but only from the *main*
+    process.  Spawned workers inherit the environment; their spans travel
+    back on protocol replies, and an atexit export in each worker would
+    clobber the engine's trace file."""
+    if not env_enabled():
+        return
+    enable()
+    path = env_trace_path()
+    if path is None:
+        return
+    import multiprocessing
+    if multiprocessing.parent_process() is not None:
+        return
+    import atexit
+
+    def _export(path=path):
+        export_chrome_trace(path, metrics=metrics_snapshot())
+
+    atexit.register(_export)
+
+
+_bootstrap_from_env()

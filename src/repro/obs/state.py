@@ -1,0 +1,18 @@
+"""The observability on/off flag, isolated so hot paths can import it.
+
+This module is a leaf: it imports nothing from :mod:`repro`, so the
+interpreter dispatch loop, the subtype lattice, and the storage façade can
+all guard their instrumentation with ``if ENABLED[0]:`` without creating an
+import cycle through :mod:`repro.obs` proper.
+
+``ENABLED`` is a one-element list rather than a module-level bool because
+callers cache a reference to the *cell* (``from repro.obs.state import
+ENABLED as _OBS_ON``) and re-read ``_OBS_ON[0]`` — a rebound module global
+would leave every cached reference stale, while the cell makes
+``obs.enable()`` visible everywhere instantly.
+"""
+
+from __future__ import annotations
+
+#: the global tracing/metrics switch — index 0 is the flag
+ENABLED: list[bool] = [False]

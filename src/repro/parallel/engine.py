@@ -37,6 +37,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.incremental.stats import IncrementalStats
+from repro.obs import spans as obs_spans
 from repro.parallel import worker as worker_mod
 from repro.parallel.merge import feed_incremental, merge_report
 from repro.parallel.planner import Shard, plan_shards
@@ -209,6 +210,8 @@ class ParallelCheckEngine:
         """One cold fleet check of ``labels`` across the worker pool."""
         labels = _normalize_labels(labels)
         round_start = time.perf_counter()
+        round_span = obs_spans.span("fleet.round", label=",".join(labels))
+        round_span.__enter__()
         plan_start = time.perf_counter()
         specs = specs_for_labels(labels, self._registry_for_label)
         shards = plan_shards(
@@ -222,9 +225,12 @@ class ParallelCheckEngine:
         plan_s = time.perf_counter() - plan_start
 
         results = self._run_shards(shards)
+        for result in results:
+            obs_spans.absorb(result.spans)
 
         merge_start = time.perf_counter()
-        report = merge_report(specs, results)
+        with obs_spans.span("fleet.merge"):
+            report = merge_report(specs, results)
         plan_s += time.perf_counter() - merge_start
         self._absorb_costs(results)
         run = ParallelRun(
@@ -236,12 +242,15 @@ class ParallelCheckEngine:
             critical_path_s=max((r.cpu_s for r in results), default=0.0),
         )
         self.stats.parallel_rounds += 1
+        round_span.set("shards", len(shards))
+        round_span.set("methods", len(specs))
+        round_span.__exit__(None, None, None)
         return run
 
     def _run_shards(self, shards: list[Shard]) -> list[ShardResult]:
         tasks = [
             ShardTask(shard_id=shard.index, specs=tuple(shard.specs),
-                      backend=self.backend)
+                      backend=self.backend, trace=obs_spans.enabled())
             for shard in shards
         ]
         if self.workers == 1 or len(tasks) <= 1:
@@ -360,6 +369,9 @@ class ParallelCheckEngine:
         if not pending:
             self.last_warm_run = WarmRun(methods=0, remote=False)
             return scheduler.resolve(serial_keys)
+        round_span = obs_spans.span("warm.round", label=",".join(labels))
+        round_span.__enter__()
+        round_span.set("dirty", len(pending))
 
         sync_start = time.perf_counter()
         try:
@@ -369,6 +381,8 @@ class ParallelCheckEngine:
                 self._sync_session(rdl)
         except (WarmSyncError, WorkerLost, SessionRequestFailed) as exc:
             self._abort_session()
+            round_span.set("fallback", True)
+            round_span.__exit__(None, None, None)
             return self._fallback_serial(scheduler, f"session sync failed: {exc}")
         sync_s = time.perf_counter() - sync_start
 
@@ -411,6 +425,9 @@ class ParallelCheckEngine:
             sync_s=sync_s,
             retries=retries,
         )
+        round_span.set("shards", len(shards))
+        round_span.set("retries", retries)
+        round_span.__exit__(None, None, None)
         return report
 
     def detach(self) -> None:
@@ -524,6 +541,11 @@ class ParallelCheckEngine:
             raise WarmSyncError("no session attached")
         if self._session_pool is None:
             self._session_pool = SessionPool(self.workers)
+        sync_span = obs_spans.span("session.sync", label=self._session_id)
+        with sync_span:
+            self._sync_session_inner(rdl, sync_span)
+
+    def _sync_session_inner(self, rdl, sync_span) -> None:
         handles = self._session_pool.ensure()
         journal = rdl.db.journal
         pristine = rdl.pristine_generation
@@ -535,10 +557,12 @@ class ParallelCheckEngine:
             if not handle.attached
             or handle.synced_generation < journal.oldest_retained
         ]
+        sync_span.set("attaches", len(needs_attach))
         attach = AttachUniverse(
             session_id=self._session_id,
             labels=tuple(self._attached_labels),
             backend=backend,
+            trace=obs_spans.enabled(),
         )
         sent = []
         for handle in needs_attach:
@@ -552,6 +576,7 @@ class ParallelCheckEngine:
                 ack = handle.recv()
             except WorkerLost:
                 continue
+            obs_spans.absorb(getattr(ack, "spans", ()))
             if any(gen != pristine for gen in ack.generations.values()):
                 raise WarmSyncError(
                     f"replica build diverged: worker {handle.index} built "
@@ -571,6 +596,7 @@ class ParallelCheckEngine:
                 session_id=self._session_id,
                 events=tuple(event.to_wire() for event in events),
                 loads=tuple(new_loads),
+                trace=obs_spans.enabled(),
             )
             try:
                 handle.send(delta)
@@ -582,6 +608,7 @@ class ParallelCheckEngine:
                 ack = handle.recv()
             except WorkerLost:
                 continue
+            obs_spans.absorb(getattr(ack, "spans", ()))
             if any(gen != rdl.db.version for gen in ack.generations.values()):
                 raise WarmSyncError(
                     f"delta replay diverged on worker {handle.index}: "
@@ -607,20 +634,32 @@ class ParallelCheckEngine:
             in_flight: list[tuple] = []
             for handle, shard in assignments:
                 request = CheckRequest(self._session_id, shard.index,
-                                       tuple(shard.specs))
+                                       tuple(shard.specs),
+                                       trace=obs_spans.enabled())
                 try:
                     handle.send(request)
                     in_flight.append((handle, shard))
                 except WorkerLost:
+                    obs_spans.event("warm.worker_lost",
+                                    args={"shard": shard.index,
+                                          "during": "send"})
                     lost.append(shard)
             for handle, shard in in_flight:
                 try:
-                    results.append(handle.recv())
+                    result = handle.recv()
                 except WorkerLost:
+                    obs_spans.event("warm.worker_lost",
+                                    args={"shard": shard.index,
+                                          "during": "recv"})
                     lost.append(shard)
                 except SessionRequestFailed:
                     handle.attached = False  # stale session: re-attach later
+                    obs_spans.event("warm.session_stale",
+                                    args={"shard": shard.index})
                     lost.append(shard)
+                else:
+                    obs_spans.absorb(result.spans)
+                    results.append(result)
             return lost
 
         failed = dispatch(zip(workers, shards))
@@ -632,6 +671,7 @@ class ParallelCheckEngine:
             if not survivors:
                 break  # the caller's in-process resolve backstop completes
             # round-robin the lost shards across every survivor, overlapped
+            obs_spans.event("warm.replan", args={"shards": len(failed)})
             still_failed = dispatch(
                 (survivors[i % len(survivors)], shard)
                 for i, shard in enumerate(failed)
@@ -693,7 +733,7 @@ def check_universe_parallel(rdl, labels, workers: int) -> TypeErrorReport:
     )
     tasks = [
         ShardTask(shard_id=shard.index, specs=tuple(shard.specs),
-                  backend=rdl.db.backend_name)
+                  backend=rdl.db.backend_name, trace=obs_spans.enabled())
         for shard in shards
     ]
     results: list[ShardResult] = []
@@ -703,6 +743,8 @@ def check_universe_parallel(rdl, labels, workers: int) -> TypeErrorReport:
             mp_context=multiprocessing.get_context("spawn"),
         ) as pool:
             results = [r for r in pool.map(worker_mod.run_shard, tasks)]
+    for result in results:
+        obs_spans.absorb(result.spans)
 
     report = merge_report(specs, results)
     feed_incremental(scheduler, results, generation=rdl.db.version)

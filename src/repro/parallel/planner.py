@@ -27,6 +27,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.lang import ast_nodes as ast
+from repro.obs.spans import traced
 from repro.parallel.protocol import MethodSpec
 
 #: fallback app (re)build cost in seconds, used until a worker reports one
@@ -108,6 +109,7 @@ class Shard:
         return seen
 
 
+@traced("fleet.plan_shards")
 def plan_shards(
     specs: list[MethodSpec],
     workers: int,

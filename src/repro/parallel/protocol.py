@@ -80,6 +80,8 @@ class ShardTask:
     shard_id: int
     specs: tuple[MethodSpec, ...]
     backend: str | None = None
+    #: record obs spans worker-side and ship them back on the result
+    trace: bool = False
 
     @property
     def labels(self) -> tuple[str, ...]:
@@ -117,6 +119,8 @@ class ShardResult:
     check_s: float = 0.0      # wall time spent checking (worker-side)
     cpu_s: float = 0.0        # process CPU time for the whole shard
     pid: int = 0
+    #: worker-recorded trace events (chrome dicts); () unless tracing
+    spans: tuple = ()
 
 
 # ---------------------------------------------------------------------------
@@ -138,6 +142,7 @@ class AttachUniverse:
     session_id: str
     labels: tuple[str, ...]
     backend: str | None = None
+    trace: bool = False
 
 
 @dataclass
@@ -148,6 +153,7 @@ class AttachAck:
     generations: dict[str, int] = field(default_factory=dict)  # label -> gen
     build_s: dict[str, float] = field(default_factory=dict)
     pid: int = 0
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -166,6 +172,7 @@ class SessionDelta:
     session_id: str
     events: tuple[tuple, ...] = ()
     loads: tuple[str, ...] = ()
+    trace: bool = False
 
 
 @dataclass
@@ -177,6 +184,7 @@ class DeltaAck:
     events_applied: int = 0
     loads_applied: int = 0
     pid: int = 0
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -192,6 +200,7 @@ class CheckRequest:
     session_id: str
     shard_id: int
     specs: tuple[MethodSpec, ...] = ()
+    trace: bool = False
 
 
 @dataclass(frozen=True)

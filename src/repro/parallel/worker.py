@@ -32,6 +32,7 @@ import os
 import time
 
 from repro.incremental.versioning import SchemaEvent
+from repro.obs import spans as obs_spans
 from repro.parallel.protocol import (
     AttachAck,
     AttachUniverse,
@@ -49,6 +50,28 @@ from repro.parallel.protocol import (
 )
 
 
+def _trace_begin(message) -> int | None:
+    """Set this process's tracing state from the request and return the
+    span-buffer mark to drain from, or ``None`` when tracing is off.
+
+    Workers are spawned, so they inherit the *environment* but not the
+    parent's flag — each request re-derives the state from its ``trace``
+    field (the engine stamps it with its own flag) or ``REPRO_TRACE``.
+    The mark keeps an in-process call (``workers == 1`` fallback) from
+    draining spans the caller recorded before this request.
+    """
+    obs_spans.set_enabled(bool(getattr(message, "trace", False))
+                          or obs_spans.env_enabled())
+    return obs_spans.mark() if obs_spans.enabled() else None
+
+
+def _trace_end(reply, mark: int | None):
+    """Move this request's spans onto the reply (which pickles home)."""
+    if mark is not None:
+        reply.spans = tuple(obs_spans.drain(mark))
+    return reply
+
+
 def warm_up(token: int = 0) -> int:
     """Force the child to import and exercise the full checking stack (one
     throwaway app build + check), so the first real shard measures checking
@@ -58,6 +81,9 @@ def warm_up(token: int = 0) -> int:
     app = min(all_apps(), key=lambda a: a.source_loc())
     rdl = app.build()
     rdl.check(app.label)
+    # warm-up work is deliberately untraced: drop anything recorded (an
+    # inherited REPRO_TRACE enables spans before the first real request)
+    obs_spans.drain(0)
     # linger briefly: the pool feeds tasks from one shared queue, and
     # without overlap a fast first worker could swallow several warm-up
     # tokens while its siblings are still spawning (leaving them cold)
@@ -69,6 +95,7 @@ def run_shard(task: ShardTask) -> ShardResult:
     """Check one shard and return its verdicts (the spawn entry point)."""
     from repro.apps import app_for_label
 
+    trace_mark = _trace_begin(task)
     result = ShardResult(shard_id=task.shard_id, pid=os.getpid())
     universes: dict[str, object] = {}
 
@@ -82,8 +109,10 @@ def run_shard(task: ShardTask) -> ShardResult:
             universes[label] = rdl
         return rdl
 
-    check_specs_into(result, resolve, task.specs)
-    return result
+    with obs_spans.span("shard.run", label=f"shard{task.shard_id}") as sp:
+        sp.set("methods", len(task.specs))
+        check_specs_into(result, resolve, task.specs)
+    return _trace_end(result, trace_mark)
 
 
 # ---------------------------------------------------------------------------
@@ -140,18 +169,21 @@ def _serve(sessions: dict, message):
 def _attach(sessions: dict, message: AttachUniverse) -> AttachAck:
     from repro.apps import app_for_label
 
+    trace_mark = _trace_begin(message)
     replicas: dict[str, object] = {}
     ack = AttachAck(session_id=message.session_id, pid=os.getpid())
-    for label in message.labels:
-        build_start = time.perf_counter()
-        rdl = app_for_label(label).build(backend=message.backend)
-        ack.build_s[label] = time.perf_counter() - build_start
-        ack.generations[label] = rdl.db.version
-        replicas[label] = rdl
+    with obs_spans.span("session.attach", label=message.session_id) as sp:
+        sp.set("labels", len(message.labels))
+        for label in message.labels:
+            build_start = time.perf_counter()
+            rdl = app_for_label(label).build(backend=message.backend)
+            ack.build_s[label] = time.perf_counter() - build_start
+            ack.generations[label] = rdl.db.version
+            replicas[label] = rdl
     # replace atomically: a re-attach (crash recovery, journal gap) must
     # not leave a half-updated session behind a failed build
     sessions[message.session_id] = replicas
-    return ack
+    return _trace_end(ack, trace_mark)
 
 
 def _session_of(sessions: dict, session_id: str) -> dict:
@@ -163,24 +195,29 @@ def _session_of(sessions: dict, session_id: str) -> dict:
 
 
 def _apply_delta(sessions: dict, message: SessionDelta) -> DeltaAck:
+    trace_mark = _trace_begin(message)
     session = _session_of(sessions, message.session_id)
     events = [SchemaEvent.from_wire(record) for record in message.events]
     ack = DeltaAck(session_id=message.session_id, pid=os.getpid())
-    for rdl in session.values():
-        # replicas already past some events skip them, so report the most
-        # any replica applied (not a per-replica overwrite or a sum)
-        ack.events_applied = max(ack.events_applied, rdl.db.replay(events))
-    for source in message.loads:
+    with obs_spans.span("session.delta", label=message.session_id) as sp:
+        sp.set("events", len(events))
+        sp.set("loads", len(message.loads))
         for rdl in session.values():
-            rdl.load(source)
-        ack.loads_applied += 1
+            # replicas already past some events skip them, so report the most
+            # any replica applied (not a per-replica overwrite or a sum)
+            ack.events_applied = max(ack.events_applied, rdl.db.replay(events))
+        for source in message.loads:
+            for rdl in session.values():
+                rdl.load(source)
+            ack.loads_applied += 1
     ack.generations = {
         label: rdl.db.version for label, rdl in session.items()
     }
-    return ack
+    return _trace_end(ack, trace_mark)
 
 
 def _check_session(sessions: dict, message: CheckRequest) -> ShardResult:
+    trace_mark = _trace_begin(message)
     session = _session_of(sessions, message.session_id)
     result = ShardResult(shard_id=message.shard_id, pid=os.getpid())
 
@@ -192,8 +229,10 @@ def _check_session(sessions: dict, message: CheckRequest) -> ShardResult:
         result.db_versions[label] = rdl.db.version
         return rdl
 
-    check_specs_into(result, resolve, message.specs)
-    return result
+    with obs_spans.span("session.check", label=message.session_id) as sp:
+        sp.set("methods", len(message.specs))
+        check_specs_into(result, resolve, message.specs)
+    return _trace_end(result, trace_mark)
 
 
 def check_specs_into(result: ShardResult, resolve, specs) -> None:

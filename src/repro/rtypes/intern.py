@@ -86,6 +86,16 @@ def interned_count() -> int:
     return len(_INTERN_TABLE)
 
 
+def fingerprint_count() -> int:
+    """Number of structural fingerprints issued this epoch (diagnostics)."""
+    return len(_FP_TABLE)
+
+
+def env_count() -> int:
+    """Number of interned binding environments this epoch (diagnostics)."""
+    return len(_ENV_TABLE)
+
+
 def try_intern(t: RType | None) -> RType | None:
     """The canonical instance for ``t``, or ``None`` if not internable.
 

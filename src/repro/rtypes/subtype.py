@@ -29,6 +29,8 @@ from repro.rtypes.core import (
     UnionType,
     make_union,
 )
+from repro.obs.spans import bump
+from repro.obs.state import ENABLED as _OBS_ON
 from repro.rtypes.hierarchy import ClassHierarchy, default_hierarchy
 from repro.rtypes.kinds import ClassRef, Sym
 from repro.rtypes.methods import BoundArg, CompExpr, MethodType, OptionalArg, VarargArg
@@ -78,6 +80,8 @@ def subtype(
     only valid against one ancestor table; it clears on ``add_class``.
     """
     hierarchy = hierarchy or _DEFAULT
+    if _OBS_ON[0]:
+        bump("subtype.queries")
     if s is t:
         return True
     if s._interned and t._interned:
@@ -89,6 +93,8 @@ def subtype(
             if len(memo) > 65536:
                 memo.clear()
             memo[key] = cached
+        elif _OBS_ON[0]:
+            bump("subtype.memo_hits")
         return cached
     return _subtype_uncached(s, t, hierarchy, record)
 

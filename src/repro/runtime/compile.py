@@ -33,6 +33,7 @@ import weakref
 
 
 from repro.lang import ast_nodes as ast
+from repro.obs.state import ENABLED as _OBS_ON
 from repro.rtypes.kinds import Sym
 from repro.runtime.errors import RubyError
 from repro.runtime.interp import (
@@ -65,6 +66,23 @@ from repro.runtime.objects import (
 _CACHEABLE_TYPES = frozenset(
     (int, float, RString, RArray, RHash, Sym, RRange, RBlock))
 
+#: inline-cache [hits, misses].  Collected only while observability is
+#: enabled (``_OBS_ON[0]``) so the disabled dispatch fast path stays
+#: untouched; ``obs.metrics_snapshot()`` reads these as
+#: ``vm.inline_cache.hits`` / ``.misses``.
+_IC_STATS = [0, 0]
+
+
+def inline_cache_stats() -> dict:
+    """Hit/miss counts for the per-call-site inline caches (process-wide,
+    counted only while ``repro.obs`` is enabled)."""
+    return {"hits": _IC_STATS[0], "misses": _IC_STATS[1]}
+
+
+def reset_inline_cache_stats() -> None:
+    _IC_STATS[0] = 0
+    _IC_STATS[1] = 0
+
 
 def _dispatch_cached(i, recv, name, args, block, line, nid, cache):
     """Checked-call-aware dispatch with a per-call-site inline cache.
@@ -86,6 +104,8 @@ def _dispatch_cached(i, recv, name, args, block, line, nid, cache):
             and cache[3] == len(i.foreign_handlers)):
         method = cache[4]()
         if method is not None:
+            if _OBS_ON[0]:
+                _IC_STATS[0] += 1
             if method.native is not None:
                 return method.native(i, recv, args, block)
             return i.invoke(method, recv, args, block, line)
@@ -112,6 +132,8 @@ def _dispatch_cached(i, recv, name, args, block, line, nid, cache):
             "NoMethodError", f"undefined method '{name}' for {rclass.name}",
             line))
     if t in _CACHEABLE_TYPES:
+        if _OBS_ON[0]:
+            _IC_STATS[1] += 1
         method_ref = method.wref
         if method_ref is None:
             method_ref = method.wref = weakref.ref(method)

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.lang import ast_nodes as ast
+from repro.obs.spans import span
 from repro.rtypes import (
     AnyType,
     BotType,
@@ -159,7 +160,8 @@ class TypeChecker:
         casts_before = self.report.casts_used
         oracle_before = self.report.oracle_casts
         check_start = time.perf_counter()
-        with self.engine.deps.tracking(key):
+        with span("check.method", label=desc) as sp, \
+                self.engine.deps.tracking(key):
             annotations = self.registry.lookup_method(
                 class_name, method_name, static, self.interp)
             node = self.registry.lookup_body(
@@ -178,6 +180,8 @@ class TypeChecker:
                                      class_name, static, desc)
                 except StaticTypeError as error:
                     errors.append(error)
+            if errors:
+                sp.set("errors", len(errors))
         # observed cost feeds the parallel shard planner's cost model (EWMA)
         self.engine.stats.observe_cost(desc, time.perf_counter() - check_start)
         return (desc, errors,

@@ -1,0 +1,20 @@
+"""obs tests flip process-global tracing state; always restore it."""
+
+import pytest
+
+from repro import obs
+from repro.runtime.compile import reset_inline_cache_stats
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation(monkeypatch):
+    # a REPRO_TRACE in the environment would re-enable tracing in spawned
+    # workers (and in _trace_begin) underneath the disabled-mode tests
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    was_enabled = obs.enabled()
+    obs.reset()
+    reset_inline_cache_stats()
+    yield
+    obs.reset()
+    reset_inline_cache_stats()
+    obs.set_enabled(was_enabled)

@@ -1,0 +1,84 @@
+"""The unified metrics registry and the stable-key stats snapshot."""
+
+import json
+
+from repro import obs
+from repro.api import CompRDL
+from repro.incremental import IncrementalStats
+
+#: the public key contract — benchmarks and downstream charting read these;
+#: renaming any of them is a breaking change
+STATS_KEYS = {
+    "comp_cache.hits", "comp_cache.misses", "comp_cache.hit_rate",
+    "comp_cache.revalidations", "comp_cache.invalidations",
+    "comp_cache.evictions",
+    "ast_cache.hits", "ast_cache.misses", "ast_cache.hit_rate",
+    "methods.checked", "methods.skipped", "methods.dirtied",
+    "methods.reuse_rate", "methods.checked_parallel",
+    "schema.events",
+    "fleet.shards", "fleet.rounds",
+    "planner.split_bias", "planner.cost_model_size",
+    "warm.retries", "warm.fallbacks",
+}
+
+
+def test_incremental_stats_snapshot_has_stable_keys():
+    stats = IncrementalStats()
+    assert set(stats.snapshot()) == STATS_KEYS
+
+
+def test_snapshot_reflects_counters_and_extra_mapping():
+    stats = IncrementalStats(comp_hits=3, comp_misses=1, methods_checked=4,
+                             methods_skipped=12)
+    stats.extra["warm_worker_retries"] = 2
+    stats.extra["split_bias"] = 1.5
+    stats.extra["unmapped_thing"] = 9
+    snap = stats.snapshot()
+    assert snap["comp_cache.hits"] == 3
+    assert snap["comp_cache.hit_rate"] == 0.75
+    assert snap["methods.reuse_rate"] == 0.75
+    # free-form extras land under their mapped stable names...
+    assert snap["warm.retries"] == 2
+    assert snap["planner.split_bias"] == 1.5
+    # ...and unknown ones are preserved, not dropped
+    assert snap["extra.unmapped_thing"] == 9
+
+
+def test_to_json_round_trips():
+    stats = IncrementalStats(comp_hits=5)
+    decoded = json.loads(stats.to_json())
+    assert decoded == stats.snapshot()
+
+
+def test_metrics_snapshot_unifies_every_layer():
+    obs.enable()
+    rdl = CompRDL()
+    rdl.load("""
+class MetricsProbe
+  type :"self.answer", "() -> Integer", typecheck: :probe
+  def self.answer()
+    42
+  end
+end
+""")
+    assert rdl.check_all("probe").ok()
+    snap = rdl.metrics_snapshot()
+    # incremental-stats keys pass through
+    assert snap["methods.checked"] >= 1
+    # process-wide layers join the same flat dict under their own prefixes
+    assert "vm.inline_cache.hits" in snap
+    assert "vm.inline_cache.misses" in snap
+    assert "vm.inline_cache.hit_rate" in snap
+    assert snap["intern.types"] > 0
+    assert snap["obs.enabled"] is True
+    # obs counters appear namespaced (subtype queries ran during the check)
+    assert snap.get("counters.subtype.queries", 0) > 0
+    # and the whole thing is JSON-serializable as-is
+    json.dumps(snap)
+
+
+def test_metrics_snapshot_merges_multiple_sources():
+    first = IncrementalStats(comp_hits=2)
+    second = IncrementalStats(comp_hits=5)
+    snap = obs.metrics_snapshot(first, second)
+    assert snap["comp_cache.hits"] == 7  # ints sum across universes
