@@ -38,6 +38,7 @@ except ImportError:  # non-POSIX: CPU times degrade to null
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 RESULTS_DIR = os.path.join(HERE, "results")
+HISTORY_DIR = os.path.join(HERE, "history")
 
 #: substrings that mark a benchmark-reported number as trajectory-worthy
 _METRIC_HINTS = ("pass", "criter", "wall", "cpu", "speedup", "hit_rate",
@@ -94,6 +95,35 @@ def _harvest(json_path: str) -> dict:
     return metrics
 
 
+def _git_sha() -> str | None:
+    """The checked-out commit, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=os.path.dirname(HERE),
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    except OSError:
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def append_history(summary: dict) -> str:
+    """File one stamped summary copy under ``benchmarks/history/``.
+
+    The filename sorts chronologically (UTC timestamp first, short SHA
+    second), which is the contract ``compare_runs.py`` relies on to find
+    the two most recent runs.
+    """
+    os.makedirs(HISTORY_DIR, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    sha = summary.get("git_sha") or "nogit"
+    path = os.path.join(HISTORY_DIR, f"{stamp}-{sha[:12]}.json")
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def main() -> int:
     cli = argparse.ArgumentParser(description=__doc__)
     cli.add_argument("--out", default=os.path.join(HERE, "..", "bench-artifacts"),
@@ -140,7 +170,12 @@ def main() -> int:
               f"({wall:.1f}s wall)")
         failed |= code != 0
 
-    summary = {"quick_mode": True, "benchmarks": benches}
+    summary = {
+        "quick_mode": True,
+        "git_sha": _git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benchmarks": benches,
+    }
     summary_path = os.path.join(out, "summary.json")
     os.makedirs(RESULTS_DIR, exist_ok=True)
     committed_path = os.path.join(RESULTS_DIR, "summary.json")
@@ -148,8 +183,10 @@ def main() -> int:
         with open(target, "w") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
+    history_path = append_history(summary)
     print(f"\nsummary written to {summary_path}")
     print(f"           and to {committed_path}")
+    print(f"  history entry: {history_path}")
     for name, row in benches.items():
         print(f"  {name}: {row['status']}")
     return 1 if failed else 0

@@ -55,9 +55,15 @@ def main() -> int:
                      help="warm session worker count (default 4)")
     cli.add_argument("--json", default=DEFAULT_OUT,
                      help=f"trace output path (default {DEFAULT_OUT})")
+    cli.add_argument("--provenance", metavar="PATH", default=None,
+                     help="also record the verdict-provenance ledger during "
+                          "the capture and export it as JSONL at PATH (CI "
+                          "uploads this next to the trace artifact)")
     options = cli.parse_args()
 
     obs.enable()
+    if options.provenance:
+        obs.provenance.enable()
     obs.drain(0)  # a fresh timeline: nothing traced before the capture
     snapshot = capture(options.workers)
     path = obs.export_chrome_trace(options.json, metrics=snapshot)
@@ -79,6 +85,20 @@ def main() -> int:
               f"got {worker_pids}")
         return 1
     print(f"PASS: spans from {len(worker_pids)} worker processes")
+
+    if options.provenance:
+        # every ledger that recorded during the capture is still reachable
+        # through the process-wide registry; the merged export shares the
+        # trace's µs timeline
+        prov_path = obs.provenance.export_jsonl(options.provenance)
+        with open(prov_path) as handle:
+            rows = [json.loads(line) for line in handle if line.strip()]
+        kinds = sorted({row["producer"]["kind"] for row in rows})
+        print(f"{len(rows)} provenance records written to {prov_path} "
+              f"(producers: {', '.join(kinds)})")
+        if not rows:
+            print("FAIL: provenance export is empty")
+            return 1
     return 0
 
 

@@ -49,6 +49,7 @@ class CompRDL:
         repair_with_casts: bool = False,
         backend: str | None = None,
         trace: bool | None = None,
+        provenance: bool | None = None,
     ):
         if db is not None and backend is not None:
             raise ValueError(
@@ -59,6 +60,10 @@ class CompRDL:
         # the REPRO_TRACE default and explicit obs.enable() calls survive
         if trace is not None:
             obs.set_enabled(trace)
+        # same contract for the verdict-provenance ledger (REPRO_PROVENANCE
+        # is its environment default)
+        if provenance is not None:
+            obs.provenance.set_enabled(provenance)
         self.interp = Interp()
         self.registry = AnnotationRegistry()
         self.interp.registry = self.registry
@@ -264,6 +269,32 @@ class CompRDL:
         as Chrome ``trace_event`` JSON, with this universe's metrics
         snapshot attached; returns ``path``."""
         return obs.export_chrome_trace(path, metrics=self.metrics_snapshot())
+
+    def explain(self, class_name: str, method_name: str,
+                static: bool = False, render: bool = False):
+        """Why is this method's verdict what it is, and what changed it?
+
+        Answers from the provenance ledger (enable with
+        ``CompRDL(provenance=True)``, ``obs.provenance.enable()``, or
+        ``REPRO_PROVENANCE=1``): how the verdict was produced (fresh
+        in-process check, cold-fleet worker, warm-session worker — with
+        pid / shard / session id), the dependency footprint it was recorded
+        with, the schema generation it was checked at and whether it has
+        gone stale since, the journal events that dirtied it, comp-cache
+        hit/miss attribution, timing, and the method's verdict-flip
+        history.  Returns a structured dict, or the rendered tree (one
+        string) with ``render=True``.
+        """
+        info = obs.provenance.explain(
+            self.incremental, class_name, method_name, static=static)
+        return obs.provenance.render_explain(info) if render else info
+
+    def export_provenance(self, path: str) -> str:
+        """Write this universe's provenance ledger as JSONL (one verdict
+        record per line, ordered by record time — the same µs timeline the
+        trace spans use); returns ``path``."""
+        return obs.provenance.export_jsonl(
+            path, ledgers=[self.incremental.provenance])
 
     # ------------------------------------------------------------------
     def run(self, source: str, checks: bool | None = None):

@@ -70,15 +70,18 @@ class CompEngine:
         db = getattr(self.interp, "db", None)
         return getattr(db, "journal", None)
 
-    def _comp_error(self, message: str, line: int, context: str) -> StaticTypeError:
+    def _comp_error(self, message: str, line: int, context: str,
+                    code: str | None = None) -> StaticTypeError:
         """A comp-evaluation failure.  The message carries only
         deterministic content: it is part of the verdict, and verdicts must
         be identical across serial, incremental, and parallel runs — which
         rules out run-history context like the schema generation or cache
-        population at computation time.  The generation is attached as a
-        ``schema_generation`` attribute for in-process diagnostics."""
+        population at computation time.  The generation (and, for
+        provenance diagnostics, the failing comp's code) are attached as
+        ``schema_generation`` / ``comp_code`` attributes instead."""
         error = StaticTypeError(message, line, context)
         error.schema_generation = self.generation
+        error.comp_code = code
         return error
 
     # ------------------------------------------------------------------
@@ -122,7 +125,8 @@ class CompEngine:
                     program = parse_program(comp.code)
                 except Exception as exc:
                     raise self._comp_error(
-                        f"comp type does not parse: {exc}", line, context)
+                        f"comp type does not parse: {exc}", line, context,
+                        code=comp.code)
                 self.termination.check_comp_code(program, comp.code)
                 self.asts.store(comp.code, program)
 
@@ -136,16 +140,17 @@ class CompEngine:
                 except RaiseSignal as sig:
                     raise self._comp_error(
                         f"comp type evaluation raised {sig.exc.rclass.name}: "
-                        f"{sig.exc.message}", line, context)
+                        f"{sig.exc.message}", line, context, code=comp.code)
                 except RubyError as exc:
                     raise self._comp_error(
-                        f"comp type evaluation failed: {exc}", line, context)
+                        f"comp type evaluation failed: {exc}", line, context,
+                        code=comp.code)
                 try:
                     value = to_rtype(self.interp, result)
                 except RubyError:
                     raise self._comp_error(
                         f"comp type did not evaluate to a type "
-                        f"(got {result!r})", line, context)
+                        f"(got {result!r})", line, context, code=comp.code)
             self.cache.store(comp.code, bkey, generation, scope.tables, value)
         # the first caller must not alias the cache entry either: weak
         # updates widen types in place, which would pollute later hits

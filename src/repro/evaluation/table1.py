@@ -181,6 +181,43 @@ def render_warm_recheck(workers: int = 2, backend: str | None = None) -> str:
     return "\n".join(lines)
 
 
+def explain_verdict(target: str, backend: str | None = None) -> str:
+    """Render the provenance tree for one subject-app method's verdict.
+
+    ``target`` names the method RDL-style: ``Class#method`` for instance
+    methods, ``Class.method`` for static ones.  The subject app that
+    defines (or annotates) the method is located by registry lookup, its
+    label is checked with the provenance ledger enabled, and the recorded
+    entry is rendered as the ``explain()`` tree.
+    """
+    from repro import obs
+    from repro.apps import all_apps
+    from repro.typecheck.registry import MethodKey
+
+    if "#" in target:
+        class_name, _, method_name = target.partition("#")
+        static = False
+    elif "." in target:
+        class_name, _, method_name = target.partition(".")
+        static = True
+    else:
+        raise SystemExit(
+            f"--explain target {target!r} must look like Class#method "
+            f"(instance) or Class.method (static)")
+    key = MethodKey(class_name, method_name, static)
+    obs.provenance.enable()
+    for app in all_apps():
+        rdl = app.build(backend=backend)
+        if (key not in rdl.registry.method_annotations
+                and key not in rdl.registry.defined_methods):
+            continue
+        rdl.check_all(app.label)
+        return (f"(subject app: {app.label})\n"
+                + rdl.explain(class_name, method_name,
+                              static=static, render=True))
+    raise SystemExit(f"no subject app defines or annotates {target!r}")
+
+
 def render_fleet_check(workers: int = 1, backend: str | None = None) -> str:
     rows = fleet_check_rows(workers, backend=backend)
     lines = [
@@ -212,12 +249,21 @@ if __name__ == "__main__":
                      help="also demo warm session rechecks: migrate each "
                           "app's busiest table and re-verify only the "
                           "dirty methods on live worker replicas")
+    cli.add_argument("--explain", metavar="CLASS#METHOD", default=None,
+                     help="explain one subject-app method's verdict: check "
+                          "its app with the provenance ledger enabled and "
+                          "print why the verdict is what it is (use "
+                          "Class#method for instance methods, Class.method "
+                          "for static ones)")
     cli.add_argument("--trace", metavar="PATH", default=None,
                      help="record a repro.obs trace of everything this run "
                           "does (engine + workers) and export it as Chrome "
                           "trace_event JSON at PATH; also prints the "
                           "per-phase summary table")
     options = cli.parse_args()
+    if options.explain:
+        print(explain_verdict(options.explain, backend=options.backend))
+        raise SystemExit(0)
     if options.trace:
         import repro.obs as obs
 

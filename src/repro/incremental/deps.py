@@ -37,6 +37,17 @@ class MethodDeps:
     def depends_on_table(self, table: str) -> bool:
         return table in self.tables or WILDCARD in self.tables
 
+    def summary(self) -> dict:
+        """The footprint as sorted, JSON-ready lists — the stable form the
+        provenance ledger records and ``explain()`` reports, identical no
+        matter which process tracked the dependencies."""
+        return {
+            "tables": sorted(self.tables),
+            "columns": sorted(f"{table}.{column}"
+                              for table, column in self.columns),
+            "comps": sorted(self.comps),
+        }
+
 
 class DependencyTracker:
     """Records per-method schema/comp dependencies via nested scopes."""

@@ -11,10 +11,13 @@ verdicts for the rest.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.incremental.versioning import TWO_TABLE_KINDS, SchemaEvent
+from repro.obs import provenance as prov
 from repro.obs.spans import span
+from repro.obs.state import PROVENANCE as _PROV_ON
 from repro.typecheck.errors import StaticTypeError, TypeErrorReport
 
 
@@ -42,6 +45,10 @@ class IncrementalScheduler:
         self.results: dict[object, MethodResult] = {}
         self.dirty: set[object] = set()
         self.labels: list[str] = []
+        # every production path writes this universe's verdict provenance
+        # here — _check for fresh verdicts, feed_incremental for fleet/warm
+        # adoptions; empty (and never touched) while provenance is disabled
+        self.provenance = prov.ProvenanceLedger(stats=self.stats)
         if db is not None and hasattr(db, "add_change_listener"):
             db.add_change_listener(self.on_schema_change)
         if hasattr(registry, "add_method_listener"):
@@ -143,19 +150,33 @@ class IncrementalScheduler:
             result = self._check(key)
         else:
             self.stats.methods_skipped += 1
+            if _PROV_ON[0]:
+                self.provenance.note_serve(key)
         report.checked_methods.append(result.desc)
         report.errors.extend(result.errors)
         report.casts_used += result.casts_used
         report.oracle_casts += result.oracle_casts
 
     def _check(self, key) -> MethodResult:
-        desc, errors, casts, oracle = self.checker.check_one(
-            key.class_name, key.method_name, key.static)
+        cap = prov.capture(self.stats)
+        with cap:
+            desc, errors, casts, oracle = self.checker.check_one(
+                key.class_name, key.method_name, key.static)
         generation = getattr(self.db, "version", 0) if self.db else 0
         result = MethodResult(key, desc, errors, casts, oracle, generation)
         self.results[key] = result
         self.dirty.discard(key)
         self.stats.methods_checked += 1
+        if cap is not prov.NULL_CAPTURE:
+            self.provenance.record(
+                key, desc, errors, generation,
+                deps=self.tracker.deps_of(key),
+                producer={"kind": "fresh", "pid": os.getpid()},
+                comp_hits=cap.comp_hits,
+                comp_misses=cap.comp_misses,
+                wall_s=self.checker.last_check_wall_s,
+                journal=getattr(self.db, "journal", None),
+            )
         return result
 
     # ------------------------------------------------------------------

@@ -24,6 +24,9 @@ _EXTRA_KEYS = {
     "warm_worker_retries": "warm.retries",
     "warm_fallbacks": "warm.fallbacks",
     "warm_fallback_reason": "warm.fallback_reason",
+    # bumped by the provenance ledger whenever a re-check changes a
+    # method's error set (see repro.obs.provenance)
+    "verdict_flips": "provenance.flips",
 }
 
 

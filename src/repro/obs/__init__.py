@@ -27,13 +27,16 @@ own pid, so one exported trace shows the whole fleet on a shared
 
 from __future__ import annotations
 
+from repro.obs import provenance
 from repro.obs.export import (
+    ExportPathError,
     chrome_trace,
     export_chrome_trace,
+    open_export,
     phase_summary,
     render_summary,
 )
-from repro.obs.metrics import metrics_snapshot
+from repro.obs.metrics import metrics_diff, metrics_snapshot
 from repro.obs.spans import (
     NULL_SPAN,
     Span,
@@ -57,35 +60,47 @@ from repro.obs.spans import (
 )
 
 __all__ = [
-    "NULL_SPAN", "Span", "absorb", "buffered", "bump", "chrome_trace",
-    "counters", "disable", "drain", "enable", "enabled", "env_enabled",
-    "env_trace_path", "event", "events", "export_chrome_trace", "mark",
-    "metrics_snapshot", "phase_summary", "render_summary", "reset",
+    "ExportPathError", "NULL_SPAN", "Span", "absorb", "buffered", "bump",
+    "chrome_trace", "counters", "disable", "drain", "enable", "enabled",
+    "env_enabled", "env_trace_path", "event", "events",
+    "export_chrome_trace", "mark", "metrics_diff", "metrics_snapshot",
+    "open_export", "phase_summary", "provenance", "render_summary", "reset",
     "set_enabled", "span", "traced",
 ]
 
 
-def _bootstrap_from_env() -> None:
-    """Honour ``REPRO_TRACE`` at import: enable recording, and when the
-    value names a path, export there at exit — but only from the *main*
-    process.  Spawned workers inherit the environment; their spans travel
-    back on protocol replies, and an atexit export in each worker would
-    clobber the engine's trace file."""
-    if not env_enabled():
-        return
-    enable()
-    path = env_trace_path()
-    if path is None:
-        return
+def _in_worker_process() -> bool:
+    """Whether this is a spawned child (workers inherit the environment;
+    their records travel back on protocol replies, and an atexit export in
+    each worker would clobber the engine's file)."""
     import multiprocessing
-    if multiprocessing.parent_process() is not None:
-        return
-    import atexit
+    return multiprocessing.parent_process() is not None
 
-    def _export(path=path):
-        export_chrome_trace(path, metrics=metrics_snapshot())
 
-    atexit.register(_export)
+def _bootstrap_from_env() -> None:
+    """Honour ``REPRO_TRACE`` and ``REPRO_PROVENANCE`` at import: enable
+    recording, and when a value names a path, export there at exit — but
+    only from the *main* process."""
+    if env_enabled():
+        enable()
+        path = env_trace_path()
+        if path is not None and not _in_worker_process():
+            import atexit
+
+            def _export_trace(path=path):
+                export_chrome_trace(path, metrics=metrics_snapshot())
+
+            atexit.register(_export_trace)
+    if provenance.env_enabled():
+        provenance.enable()
+        prov_path = provenance.env_export_path()
+        if prov_path is not None and not _in_worker_process():
+            import atexit
+
+            def _export_provenance(path=prov_path):
+                provenance.export_jsonl(path)
+
+            atexit.register(_export_provenance)
 
 
 _bootstrap_from_env()

@@ -16,6 +16,28 @@ import os
 from repro.obs import spans
 
 
+class ExportPathError(OSError):
+    """An export target could not be written; the message names the path."""
+
+
+def open_export(path: str):
+    """Open ``path`` for writing, creating missing parent directories.
+
+    Every obs exporter (chrome trace, provenance JSONL) funnels through
+    here so an unwritable target fails with one clear error naming the
+    path instead of a bare ``FileNotFoundError`` deep inside ``open()``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        return open(path, "w")
+    except OSError as exc:
+        raise ExportPathError(
+            f"cannot write export to {path!r}: "
+            f"{exc.strerror or exc}") from exc
+
+
 def chrome_trace(events: list[dict] | None = None,
                  metrics: dict | None = None) -> dict:
     """The export document: buffered (or given) events, chrome-loadable."""
@@ -35,10 +57,7 @@ def export_chrome_trace(path: str, events: list[dict] | None = None,
     """Write the trace JSON to ``path`` (directories created); returns
     ``path`` so callers can log it."""
     doc = chrome_trace(events, metrics)
-    directory = os.path.dirname(os.path.abspath(path))
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    with open(path, "w") as handle:
+    with open_export(path) as handle:
         json.dump(doc, handle, indent=1)
         handle.write("\n")
     return path

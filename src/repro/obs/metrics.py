@@ -67,4 +67,34 @@ def metrics_snapshot(*sources) -> dict:
 
     snap["obs.enabled"] = spans.enabled()
     snap["obs.buffered_events"] = spans.buffered()
+
+    from repro.obs import provenance
+    snap["provenance.enabled"] = provenance.enabled()
+    snap["provenance.records"] = provenance.recorded()
     return snap
+
+
+def metrics_diff(before: dict, after: dict) -> dict:
+    """Stable-key snapshot subtraction: what changed between two
+    :func:`metrics_snapshot` (or ``IncrementalStats.snapshot()``) dicts.
+
+    Numeric values subtract (``after - before``, missing treated as 0);
+    bools and strings report the ``after`` value when it changed.  Keys
+    whose delta is zero / unchanged are omitted, so asserting "this round
+    added no comp-cache misses" is ``diff.get("comp_cache.misses", 0) == 0``
+    and a no-op round diffs to ``{}``.
+    """
+    diff: dict = {}
+    for key in before.keys() | after.keys():
+        old, new = before.get(key), after.get(key)
+        if old == new:
+            continue
+        numeric_old = isinstance(old, (int, float)) and not isinstance(old, bool)
+        numeric_new = isinstance(new, (int, float)) and not isinstance(new, bool)
+        if (numeric_old or old is None) and (numeric_new or new is None):
+            delta = (new or 0) - (old or 0)
+            if delta:
+                diff[key] = round(delta, 9) if isinstance(delta, float) else delta
+        else:
+            diff[key] = new
+    return diff

@@ -16,3 +16,8 @@ from __future__ import annotations
 
 #: the global tracing/metrics switch — index 0 is the flag
 ENABLED: list[bool] = [False]
+
+#: the per-verdict provenance switch (see :mod:`repro.obs.provenance`) —
+#: separate from tracing so either can run without the other; same cell
+#: pattern, same reason
+PROVENANCE: list[bool] = [False]

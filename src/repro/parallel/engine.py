@@ -37,6 +37,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.incremental.stats import IncrementalStats
+from repro.obs import provenance as obs_prov
 from repro.obs import spans as obs_spans
 from repro.parallel import worker as worker_mod
 from repro.parallel.merge import feed_incremental, merge_report
@@ -250,7 +251,8 @@ class ParallelCheckEngine:
     def _run_shards(self, shards: list[Shard]) -> list[ShardResult]:
         tasks = [
             ShardTask(shard_id=shard.index, specs=tuple(shard.specs),
-                      backend=self.backend, trace=obs_spans.enabled())
+                      backend=self.backend, trace=obs_spans.enabled(),
+                      provenance=obs_prov.enabled())
             for shard in shards
         ]
         if self.workers == 1 or len(tasks) <= 1:
@@ -409,7 +411,9 @@ class ParallelCheckEngine:
         plan_s = time.perf_counter() - plan_start
 
         results, retries = self._run_warm_shards(shards)
-        feed_incremental(scheduler, results, generation=rdl.db.version)
+        feed_incremental(scheduler, results, generation=rdl.db.version,
+                         producer={"kind": "warm",
+                                   "session": self._session_id})
         self._absorb_imbalance(results)
         scheduler.stats.parallel_rounds += 1
         # resolve() assembles the report in serial order from the adopted
@@ -424,6 +428,7 @@ class ParallelCheckEngine:
             plan_s=plan_s,
             sync_s=sync_s,
             retries=retries,
+            session_id=self._session_id,
         )
         round_span.set("shards", len(shards))
         round_span.set("retries", retries)
@@ -635,7 +640,8 @@ class ParallelCheckEngine:
             for handle, shard in assignments:
                 request = CheckRequest(self._session_id, shard.index,
                                        tuple(shard.specs),
-                                       trace=obs_spans.enabled())
+                                       trace=obs_spans.enabled(),
+                                       provenance=obs_prov.enabled())
                 try:
                     handle.send(request)
                     in_flight.append((handle, shard))
@@ -733,7 +739,8 @@ def check_universe_parallel(rdl, labels, workers: int) -> TypeErrorReport:
     )
     tasks = [
         ShardTask(shard_id=shard.index, specs=tuple(shard.specs),
-                  backend=rdl.db.backend_name, trace=obs_spans.enabled())
+                  backend=rdl.db.backend_name, trace=obs_spans.enabled(),
+                  provenance=obs_prov.enabled())
         for shard in shards
     ]
     results: list[ShardResult] = []
@@ -747,7 +754,8 @@ def check_universe_parallel(rdl, labels, workers: int) -> TypeErrorReport:
         obs_spans.absorb(result.spans)
 
     report = merge_report(specs, results)
-    feed_incremental(scheduler, results, generation=rdl.db.version)
+    feed_incremental(scheduler, results, generation=rdl.db.version,
+                     producer={"kind": "fleet"})
     scheduler.stats.parallel_rounds += 1
     for label in labels:
         if label not in scheduler.labels:

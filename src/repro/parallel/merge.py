@@ -16,6 +16,7 @@ methods a serially-checked universe would.
 from __future__ import annotations
 
 from repro.incremental.scheduler import MethodResult
+from repro.obs.state import PROVENANCE as _PROV_ON
 from repro.parallel.protocol import MethodSpec, MethodVerdict, ShardResult
 from repro.typecheck.errors import TypeErrorReport
 
@@ -52,32 +53,58 @@ def merge_report(serial_order: list[MethodSpec],
 
 
 def feed_incremental(scheduler, results: list[ShardResult],
-                     generation: int | None = None) -> int:
+                     generation: int | None = None,
+                     producer: dict | None = None) -> int:
     """Install worker verdicts into a universe's incremental engine.
 
     Each method gets a cached :class:`MethodResult` plus its worker-recorded
     dependency footprint, its dirty flag is cleared, and its observed cost
     feeds the planner's cost model for the next round.  Returns the number
     of verdicts adopted.
+
+    With provenance enabled, each adoption is also recorded in the
+    scheduler's ledger: ``producer`` supplies the production kind (the
+    engine passes ``{"kind": "fleet"}`` or ``{"kind": "warm", "session":
+    id}``) and the worker's pid/shard plus the piggybacked comp-cache
+    deltas are filled in per verdict.
     """
     tracker = scheduler.tracker
     stats = scheduler.stats
+    prov_on = _PROV_ON[0]
+    journal = getattr(scheduler.db, "journal", None)
     adopted = 0
     for result in results:
         for verdict in result.verdicts:
             key = verdict.spec.key()
+            errors = verdict.rebuild_errors()
+            checked_at = (generation if generation is not None
+                          else result.db_versions.get(verdict.spec.label, 0))
             scheduler.results[key] = MethodResult(
                 key=key,
                 desc=verdict.desc,
-                errors=verdict.rebuild_errors(),
+                errors=errors,
                 casts_used=verdict.casts_used,
                 oracle_casts=verdict.oracle_casts,
-                generation=(generation if generation is not None
-                            else result.db_versions.get(verdict.spec.label, 0)),
+                generation=checked_at,
             )
             if verdict.deps is not None:
                 tracker.adopt(key, verdict.deps)
             scheduler.dirty.discard(key)
+            if prov_on:
+                who = dict(producer) if producer else {"kind": "fleet"}
+                who.setdefault("kind", "fleet")
+                who["pid"] = result.pid
+                who["shard"] = result.shard_id
+                comp_hits, comp_misses = verdict.prov or (0, 0)
+                scheduler.provenance.record(
+                    key, verdict.desc, errors, checked_at,
+                    deps=verdict.deps,
+                    producer=who,
+                    comp_hits=comp_hits,
+                    comp_misses=comp_misses,
+                    wall_s=verdict.cost_s,
+                    journal=journal,
+                )
             # adopted verdicts count as *parallel* work only: methods_checked
             # tracks in-process checks, and a later resolve() pass over these
             # keys must see genuine reuse, not double-counted checks

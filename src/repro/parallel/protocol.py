@@ -82,6 +82,9 @@ class ShardTask:
     backend: str | None = None
     #: record obs spans worker-side and ship them back on the result
     trace: bool = False
+    #: attribute comp-cache traffic per verdict worker-side (the ``prov``
+    #: field on each MethodVerdict); False adds no payload at all
+    provenance: bool = False
 
     @property
     def labels(self) -> tuple[str, ...]:
@@ -103,6 +106,10 @@ class MethodVerdict:
     oracle_casts: int = 0
     deps: MethodDeps | None = None
     cost_s: float = 0.0
+    #: worker-side provenance piggyback: ``(comp_hits, comp_misses)``
+    #: attributed to this check, or None when provenance was off for the
+    #: request (the protocol default — a disabled round ships no payload)
+    prov: tuple | None = None
 
     def rebuild_errors(self) -> list[StaticTypeError]:
         return [decode_error(record) for record in self.errors]
@@ -201,6 +208,8 @@ class CheckRequest:
     shard_id: int
     specs: tuple[MethodSpec, ...] = ()
     trace: bool = False
+    #: per-verdict provenance piggyback, exactly like ShardTask.provenance
+    provenance: bool = False
 
 
 @dataclass(frozen=True)

@@ -166,6 +166,9 @@ class WarmRun:
     plan_s: float = 0.0
     sync_s: float = 0.0              # delta broadcast (events + loads)
     retries: int = 0                 # shards re-planned after a worker loss
+    #: the session the round ran under (None: serial fallback / no-op) —
+    #: the same id provenance records as the verdicts' producer session
+    session_id: str | None = None
 
     @property
     def critical_path_s(self) -> float:

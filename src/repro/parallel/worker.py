@@ -32,6 +32,7 @@ import os
 import time
 
 from repro.incremental.versioning import SchemaEvent
+from repro.obs import provenance as obs_prov
 from repro.obs import spans as obs_spans
 from repro.parallel.protocol import (
     AttachAck,
@@ -59,9 +60,15 @@ def _trace_begin(message) -> int | None:
     field (the engine stamps it with its own flag) or ``REPRO_TRACE``.
     The mark keeps an in-process call (``workers == 1`` fallback) from
     draining spans the caller recorded before this request.
+
+    The provenance flag is re-derived the same way (``provenance`` field /
+    ``REPRO_PROVENANCE``), so per-verdict attribution in
+    :func:`check_specs_into` follows each request.
     """
     obs_spans.set_enabled(bool(getattr(message, "trace", False))
                           or obs_spans.env_enabled())
+    obs_prov.set_enabled(bool(getattr(message, "provenance", False))
+                         or obs_prov.env_enabled())
     return obs_spans.mark() if obs_spans.enabled() else None
 
 
@@ -240,11 +247,16 @@ def check_specs_into(result: ShardResult, resolve, specs) -> None:
     ``resolve(label)`` supplies the universe to check against.  This loop
     is the single place the verdict wire format is produced."""
     cpu_start = time.process_time()
+    prov_on = obs_prov.enabled()
     for spec in specs:
         rdl = resolve(spec.label)
+        # per-verdict comp-cache attribution rides the always-on stats
+        # counters; one delta per *method* stays far off the comp microloop
+        cap = obs_prov.capture(rdl.checker.engine.stats)
         check_start = time.perf_counter()
-        desc, errors, casts, oracle = rdl.checker.check_one(
-            spec.class_name, spec.method_name, spec.static)
+        with cap:
+            desc, errors, casts, oracle = rdl.checker.check_one(
+                spec.class_name, spec.method_name, spec.static)
         cost = time.perf_counter() - check_start
         result.check_s += cost
         result.verdicts.append(MethodVerdict(
@@ -255,5 +267,6 @@ def check_specs_into(result: ShardResult, resolve, specs) -> None:
             oracle_casts=oracle,
             deps=rdl.checker.engine.deps.deps_of(spec.key()),
             cost_s=cost,
+            prov=((cap.comp_hits, cap.comp_misses) if prov_on else None),
         ))
     result.cpu_s += time.process_time() - cpu_start

@@ -102,6 +102,10 @@ class TypeChecker:
         self.report = TypeErrorReport()
         self._hierarchy: ClassHierarchy | None = None
         self._hierarchy_size = -1
+        # wall time of the most recent check_one, the same measurement that
+        # frames the check.method span and feeds the planner's cost model —
+        # the provenance ledger reuses it instead of re-timing the check
+        self.last_check_wall_s = 0.0
 
     # ------------------------------------------------------------------
     # hierarchy (kept in sync with interpreter-defined classes)
@@ -183,7 +187,8 @@ class TypeChecker:
             if errors:
                 sp.set("errors", len(errors))
         # observed cost feeds the parallel shard planner's cost model (EWMA)
-        self.engine.stats.observe_cost(desc, time.perf_counter() - check_start)
+        self.last_check_wall_s = time.perf_counter() - check_start
+        self.engine.stats.observe_cost(desc, self.last_check_wall_s)
         return (desc, errors,
                 self.report.casts_used - casts_before,
                 self.report.oracle_casts - oracle_before)

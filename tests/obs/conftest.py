@@ -3,18 +3,25 @@
 import pytest
 
 from repro import obs
+from repro.obs import provenance
 from repro.runtime.compile import reset_inline_cache_stats
 
 
 @pytest.fixture(autouse=True)
 def _obs_isolation(monkeypatch):
-    # a REPRO_TRACE in the environment would re-enable tracing in spawned
-    # workers (and in _trace_begin) underneath the disabled-mode tests
+    # a REPRO_TRACE / REPRO_PROVENANCE in the environment would re-enable
+    # the layers in spawned workers (and in _trace_begin) underneath the
+    # disabled-mode tests
     monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_PROVENANCE", raising=False)
     was_enabled = obs.enabled()
+    prov_enabled = provenance.enabled()
     obs.reset()
+    provenance.reset()
     reset_inline_cache_stats()
     yield
     obs.reset()
+    provenance.reset()
     reset_inline_cache_stats()
     obs.set_enabled(was_enabled)
+    provenance.set_enabled(prov_enabled)

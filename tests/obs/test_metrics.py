@@ -82,3 +82,68 @@ def test_metrics_snapshot_merges_multiple_sources():
     second = IncrementalStats(comp_hits=5)
     snap = obs.metrics_snapshot(first, second)
     assert snap["comp_cache.hits"] == 7  # ints sum across universes
+
+
+def test_metrics_snapshot_reports_provenance_state():
+    from repro.obs import provenance
+
+    snap = obs.metrics_snapshot()
+    assert snap["provenance.enabled"] is False
+    assert snap["provenance.records"] == 0
+    provenance.enable()
+    provenance.ProvenanceLedger().record("k", "K#m", [], 1)
+    snap = obs.metrics_snapshot()
+    assert snap["provenance.enabled"] is True
+    assert snap["provenance.records"] == 1
+
+
+def test_metrics_diff_subtracts_numeric_keys():
+    before = {"comp_cache.hits": 10, "comp_cache.misses": 4,
+              "methods.checked": 7, "obs.enabled": False,
+              "planner.split_bias": 1.25}
+    after = {"comp_cache.hits": 25, "comp_cache.misses": 4,
+             "methods.checked": 9, "obs.enabled": True,
+             "planner.split_bias": 1.5}
+    diff = obs.metrics_diff(before, after)
+    assert diff["comp_cache.hits"] == 15
+    assert diff["methods.checked"] == 2
+    # unchanged keys are omitted — a diff reads as "what moved"
+    assert "comp_cache.misses" not in diff
+    assert diff["planner.split_bias"] == 0.25
+    # non-numeric changes report the after value
+    assert diff["obs.enabled"] is True
+
+
+def test_metrics_diff_handles_missing_and_none_values():
+    before = {"warm.retries": None, "fleet.shards": 2}
+    after = {"warm.retries": 3, "counters.subtype.queries": 40,
+             "fleet.shards": 2}
+    diff = obs.metrics_diff(before, after)
+    # None and absent both count as zero on the numeric side
+    assert diff["warm.retries"] == 3
+    assert diff["counters.subtype.queries"] == 40
+    assert "fleet.shards" not in diff
+    # the documented idiom: "no misses during the window"
+    assert diff.get("comp_cache.misses", 0) == 0
+
+
+def test_metrics_diff_brackets_a_real_check():
+    obs.enable()
+    rdl = CompRDL()
+    rdl.load("""
+class DiffProbe
+  type :"self.answer", "() -> Integer", typecheck: :probe
+  def self.answer()
+    42
+  end
+end
+""")
+    before = rdl.metrics_snapshot()
+    assert rdl.check_all("probe").ok()
+    diff = obs.metrics_diff(before, rdl.metrics_snapshot())
+    assert diff["methods.checked"] >= 1
+    # a second no-op pass moves nothing in the checked counter
+    before = rdl.metrics_snapshot()
+    rdl.check_all("probe")
+    diff = obs.metrics_diff(before, rdl.metrics_snapshot())
+    assert diff.get("methods.checked", 0) == 0
