@@ -6,8 +6,9 @@ the per-benchmark JSON lands in an artifact directory for regression
 tracking.  Two benchmark styles are dispatched automatically:
 
 * **script benchmarks** (``bench_incremental``, ``bench_parallel``,
-  ``bench_backends``, ``bench_hotpath``, ``bench_warm``) have a ``main()``
-  and quick/JSON switches of their own;
+  ``bench_backends``, ``bench_hotpath``, ``bench_warm``,
+  ``bench_analysis``) have a ``main()`` and quick/JSON switches of their
+  own;
 * **pytest benchmarks** (everything else) run under pytest with
   pytest-benchmark forced to one warm-up-free round, writing its own
   ``--benchmark-json``.
@@ -144,7 +145,7 @@ def main() -> int:
         name = os.path.splitext(os.path.basename(path))[0]
         json_path = os.path.join(out, f"{name}.json")
         env_one = env
-        if name in ("bench_parallel", "bench_warm"):
+        if name in ("bench_parallel", "bench_warm", "bench_analysis"):
             cmd = [sys.executable, path, "--quick", "--json", json_path]
         elif name in ("bench_incremental", "bench_backends", "bench_hotpath"):
             cmd = [sys.executable, path]

@@ -1,0 +1,128 @@
+"""The repo-wide static diagnostics CLI.
+
+Runs footprint inference + effect lint over subject apps without checking
+(no comp code executes)::
+
+    python -m repro.analysis                       # all six apps, text
+    python -m repro.analysis --app discourse       # one app
+    python -m repro.analysis --format json         # machine-readable
+    python -m repro.analysis --check-baseline tests/analysis/baseline.json
+    python -m repro.analysis --write-baseline tests/analysis/baseline.json
+
+Exit status: 1 when any error-severity diagnostic is found or the
+baseline drifted, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _payload(reports) -> dict:
+    return {report.label: report.to_json() for report in reports}
+
+
+def _describe_drift(baseline: dict, current: dict) -> list[str]:
+    lines: list[str] = []
+    for label in sorted(set(baseline) | set(current)):
+        if label not in baseline:
+            lines.append(f"  {label}: not in baseline")
+            continue
+        if label not in current:
+            lines.append(f"  {label}: missing from this run")
+            continue
+        before, after = baseline[label], current[label]
+        if before == after:
+            continue
+        for section in ("counts", "methods", "diagnostics"):
+            if before.get(section) != after.get(section):
+                if section == "methods":
+                    changed = [
+                        name for name in
+                        set(before["methods"]) | set(after["methods"])
+                        if before["methods"].get(name)
+                        != after["methods"].get(name)
+                    ]
+                    lines.append(f"  {label}: {len(changed)} method "
+                                 f"footprint(s) changed: "
+                                 f"{', '.join(sorted(changed)[:5])}"
+                                 f"{'…' if len(changed) > 5 else ''}")
+                else:
+                    lines.append(f"  {label}: {section} changed "
+                                 f"({before.get(section)!r} -> "
+                                 f"{after.get(section)!r})")
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static comp-code analysis over the paper's subject "
+                    "apps: dependency footprints + purity/termination "
+                    "lint, no type-level code executed.")
+    parser.add_argument("--app", action="append", metavar="LABEL",
+                        help="subject app label (repeatable; default: all)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--backend", default=None,
+                        help="storage backend (memory/sqlite; default: env)")
+    parser.add_argument("--check-baseline", metavar="PATH",
+                        help="compare against a committed baseline JSON and "
+                             "fail on drift (CI mode)")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write the current results as the baseline")
+    args = parser.parse_args(argv)
+
+    from repro.analysis import analyze_universe
+    from repro.apps import all_apps, app_for_label
+
+    if args.app:
+        try:
+            apps = [app_for_label(label) for label in args.app]
+        except KeyError as exc:
+            parser.error(f"unknown app label {exc}")
+    else:
+        apps = all_apps()
+
+    reports = []
+    for app in apps:
+        rdl = app.build(backend=args.backend)
+        reports.append(analyze_universe(rdl, label=app.label))
+    payload = _payload(reports)
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written: {args.write_baseline}")
+        return 0
+
+    if args.check_baseline:
+        with open(args.check_baseline) as handle:
+            baseline = json.load(handle)
+        if baseline != payload:
+            print("analysis drifted from the committed baseline:")
+            for line in _describe_drift(baseline, payload):
+                print(line)
+            print("(refresh with --write-baseline after reviewing)")
+            return 1
+        total = sum(report.counts()["methods"] for report in reports)
+        print(f"baseline ok: {len(reports)} app(s), {total} methods")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render_text())
+            print()
+        total = sum(report.counts()["methods"] for report in reports)
+        errors = sum(report.counts()["errors"] for report in reports)
+        print(f"{len(reports)} app(s), {total} methods analysed, "
+              f"{errors} error diagnostic(s)")
+    return 1 if any(report.counts()["errors"] for report in reports) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

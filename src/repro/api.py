@@ -256,6 +256,32 @@ class CompRDL:
         return self.checker.engine.stats
 
     # ------------------------------------------------------------------
+    # static analysis (repro.analysis)
+    # ------------------------------------------------------------------
+    def analyze(self, label: str = ""):
+        """Run the static passes (footprint inference + effect lint) over
+        every labelled method of this universe, without executing any
+        type-level code.
+
+        Returns an :class:`~repro.analysis.report.AnalysisReport` and, as
+        a side effect, seeds the incremental scheduler with the inferred
+        footprints (static ⊇ dynamic): verdicts that carry no dynamic deps
+        become precisely re-dirtiable, the shard planner gets per-method
+        static costs, and warm sessions can prove a journal delta
+        irrelevant before shipping a sync.  Re-running after schema or
+        annotation changes recomputes automatically.
+        """
+        from repro.analysis import analyze_universe
+
+        report = analyze_universe(self, label=label)
+        self.incremental.adopt_static_footprints(report.footprints)
+        extra = self.incremental_stats.extra
+        counts = report.counts()
+        extra["analysis_diagnostics"] = counts["diagnostics"]
+        extra["analysis_wildcards"] = counts["wildcard_footprints"]
+        return report
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> dict:

@@ -34,6 +34,7 @@ class CheckSpec:
     comp_results: list[tuple[CompExpr, dict, RType]] = field(default_factory=list)
     engine: object = None
     line: int = 0
+    col: int = 0
     check_args: bool = True
     # db.version at the last successful consistency re-validation; the
     # inputs (bindings) are fixed per call site, so the comp results can
@@ -52,14 +53,14 @@ class CheckSpec:
             except Exception as exc:
                 raise Blame(
                     f"comp type for {self.method_desc} failed to re-evaluate "
-                    f"at call time: {exc}", line,
+                    f"at call time: {exc}", line, col=self.col,
                 )
             if recomputed != expected:
                 raise Blame(
                     f"comp type for {self.method_desc} changed between type "
                     f"checking ({expected.to_s()}) and call time "
                     f"({recomputed.to_s()}) — mutable state the type depends "
-                    f"on was modified", line,
+                    f"on was modified", line, col=self.col,
                 )
         self._validated_version = version
         self._check_arg_values(interp, args, line)
@@ -70,12 +71,12 @@ class CheckSpec:
                 if not value_has_type(interp, value, expected):
                     raise Blame(
                         f"argument to {self.method_desc} is not a "
-                        f"{expected.to_s()}", line,
+                        f"{expected.to_s()}", line, col=self.col,
                     )
 
     def after_call(self, interp, receiver, args, result, line) -> None:
         if not value_has_type(interp, result, self.ret_type):
             raise Blame(
                 f"{self.method_desc} returned a value outside its computed "
-                f"type {self.ret_type.to_s()}", line,
+                f"type {self.ret_type.to_s()}", line, col=self.col,
             )

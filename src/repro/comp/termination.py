@@ -17,6 +17,7 @@ call impure methods.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.lang import ast_nodes as ast
 from repro.typecheck.errors import TerminationError
 
@@ -41,7 +42,16 @@ class TerminationChecker:
     def check_helper(self, class_name: str, method_name: str) -> None:
         """Check a type-level helper method's body (recursively)."""
         key = f"{class_name}#{method_name}"
-        if key in self._verified or key in self._in_progress:
+        if key in self._verified:
+            return
+        if key in self._in_progress:
+            # A helper-call cycle: the body under verification calls (possibly
+            # transitively) back into itself.  The paper assumes type-level
+            # code is recursion-free, so the cycle is *assumed* terminating
+            # rather than rejected — but that assumption is worth surfacing:
+            # it is the one place the termination check is optimistic.
+            obs.event("termination.cycle_assumed", label=key)
+            obs.bump("termination.cycle_assumed")
             return
         body_node = self.registry.lookup_body(class_name, method_name, False, self.interp) \
             or self.registry.lookup_body(class_name, method_name, True, self.interp)
@@ -65,7 +75,8 @@ class TerminationChecker:
             return
         if isinstance(node, ast.While):
             raise TerminationError(
-                f"type-level code may not contain loops ({context})", node.line
+                f"type-level code may not contain loops ({context})",
+                node.line, col=node.col,
             )
         if isinstance(node, ast.MethodCall):
             self._check_call(node, context)
@@ -85,14 +96,14 @@ class TerminationChecker:
         if effect.terminates == "-":
             raise TerminationError(
                 f"type-level code calls '{node.name}', which may not terminate "
-                f"({context})", node.line
+                f"({context})", node.line, col=node.col,
             )
         if effect.terminates == "blockdep":
             if node.block is not None:
                 if not self.is_pure_block(node.block):
                     raise TerminationError(
                         f"iterator '{node.name}' in type-level code takes an "
-                        f"impure block ({context})", node.line
+                        f"impure block ({context})", node.line, col=node.col,
                     )
                 for stmt in node.block.body:
                     self._check_terminates(stmt, context)

@@ -40,6 +40,8 @@ class Node:
     """Base class for all AST nodes."""
 
     line: int = field(default=0, kw_only=True)
+    # 1-based source column of the node's first token (0 when unknown)
+    col: int = field(default=0, kw_only=True, compare=False, repr=False)
     # cache slot for the closure-compiled form of this node (see module doc)
     compiled: object = field(default=None, kw_only=True, compare=False, repr=False)
 

@@ -32,14 +32,20 @@ OPERATORS = [
 
 @dataclass(frozen=True)
 class Token:
-    """A lexical token: ``kind`` discriminates, ``value`` carries payload."""
+    """A lexical token: ``kind`` discriminates, ``value`` carries payload.
+
+    ``col`` is the 1-based column of the token's first character (0 for
+    synthetic tokens like ``newline``/``eof``), so diagnostics can point at
+    a real source position instead of just a line.
+    """
 
     kind: str
     value: object
     line: int
+    col: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Token({self.kind}, {self.value!r}, L{self.line})"
+        return f"Token({self.kind}, {self.value!r}, L{self.line}:{self.col})"
 
 
 class Lexer:
@@ -49,6 +55,10 @@ class Lexer:
         self.source = source
         self.pos = 0
         self.line = 1
+        # offset of the current line's first character, for columns
+        self.line_start = 0
+        # column where the token being lexed started (set per dispatch)
+        self._tok_col = 1
         self.tokens: list[Token] = []
 
     def error(self, message: str) -> LexError:
@@ -58,16 +68,19 @@ class Lexer:
         """Lex the whole source, returning the token list (ends with eof)."""
         while self.pos < len(self.source):
             ch = self.source[self.pos]
+            self._tok_col = self.pos - self.line_start + 1
             if ch == "\n":
                 self._emit_newline()
                 self.pos += 1
                 self.line += 1
+                self.line_start = self.pos
             elif ch in " \t\r":
                 self.pos += 1
             elif ch == "\\" and self._peek(1) == "\n":
                 # explicit line continuation
                 self.pos += 2
                 self.line += 1
+                self.line_start = self.pos
             elif ch == "#":
                 self._skip_comment()
             elif ch.isdigit():
@@ -121,10 +134,10 @@ class Lexer:
             while self._peek().isdigit():
                 self.pos += 1
             literal = self.source[start:self.pos].replace("_", "")
-            self.tokens.append(Token("float", float(literal), self.line))
+            self.tokens.append(Token("float", float(literal), self.line, self._tok_col))
         else:
             literal = self.source[start:self.pos].replace("_", "")
-            self.tokens.append(Token("int", int(literal), self.line))
+            self.tokens.append(Token("int", int(literal), self.line, self._tok_col))
 
     _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "s": " ",
                 "\\": "\\", "'": "'", '"': '"', "#": "#"}
@@ -145,9 +158,10 @@ class Lexer:
             else:
                 if ch == "\n":
                     self.line += 1
+                    self.line_start = self.pos + 1
                 chars.append(ch)
                 self.pos += 1
-        self.tokens.append(Token("string", "".join(chars), self.line))
+        self.tokens.append(Token("string", "".join(chars), self.line, self._tok_col))
 
     def _lex_dstring(self) -> None:
         self.pos += 1
@@ -173,14 +187,15 @@ class Lexer:
                 continue
             if ch == "\n":
                 self.line += 1
+                self.line_start = self.pos + 1
             chars.append(ch)
             self.pos += 1
         if chars or not parts:
             parts.append(("str", "".join(chars)))
         if len(parts) == 1 and parts[0][0] == "str":
-            self.tokens.append(Token("string", parts[0][1], self.line))
+            self.tokens.append(Token("string", parts[0][1], self.line, self._tok_col))
         else:
-            self.tokens.append(Token("dstring", parts, self.line))
+            self.tokens.append(Token("dstring", parts, self.line, self._tok_col))
 
     def _lex_interp_code(self) -> str:
         # positioned at '#{'
@@ -199,6 +214,7 @@ class Lexer:
                     return code
             elif ch == "\n":
                 self.line += 1
+                self.line_start = self.pos + 1
             self.pos += 1
         raise self.error("unterminated string interpolation")
 
@@ -206,7 +222,7 @@ class Lexer:
         self.pos += 1
         for op in self._SYMBOL_OPERATORS:
             if self.source.startswith(op, self.pos):
-                self.tokens.append(Token("symbol", op, self.line))
+                self.tokens.append(Token("symbol", op, self.line, self._tok_col))
                 self.pos += len(op)
                 return
         if self._peek() == '"':
@@ -215,7 +231,7 @@ class Lexer:
             token = self.tokens.pop()
             if token.kind != "string":
                 raise self.error("interpolated symbols are not supported")
-            self.tokens.append(Token("symbol", token.value, self.line))
+            self.tokens.append(Token("symbol", token.value, self.line, self._tok_col))
             return
         start = self.pos
         # ivar/gvar symbols: :@data, :@@count, :$db
@@ -227,7 +243,7 @@ class Lexer:
             self.pos += 1
         elif self._peek() == "=" and self._peek(1) not in (">", "="):
             self.pos += 1
-        self.tokens.append(Token("symbol", self.source[start:self.pos], self.line))
+        self.tokens.append(Token("symbol", self.source[start:self.pos], self.line, self._tok_col))
 
     def _lex_ivar(self) -> None:
         self.pos += 1
@@ -242,7 +258,7 @@ class Lexer:
         name = self.source[start:self.pos]
         if not name:
             raise self.error("bad instance variable name")
-        self.tokens.append(Token("ivar", prefix + name, self.line))
+        self.tokens.append(Token("ivar", prefix + name, self.line, self._tok_col))
 
     def _lex_gvar(self) -> None:
         self.pos += 1
@@ -252,7 +268,7 @@ class Lexer:
         name = self.source[start:self.pos]
         if not name:
             raise self.error("bad global variable name")
-        self.tokens.append(Token("gvar", "$" + name, self.line))
+        self.tokens.append(Token("gvar", "$" + name, self.line, self._tok_col))
 
     def _lex_word(self) -> None:
         start = self.pos
@@ -265,7 +281,7 @@ class Lexer:
         word = self.source[start:self.pos]
         line = self.line
         if word in KEYWORDS:
-            self.tokens.append(Token("kw", word, line))
+            self.tokens.append(Token("kw", word, line, self._tok_col))
         elif word[0].isupper():
             # Allow namespaced constants (ActiveRecord::Base)
             while self.source.startswith("::", self.pos) and self._peek(2).isalpha():
@@ -273,14 +289,14 @@ class Lexer:
                 while self._peek().isalnum() or self._peek() == "_":
                     self.pos += 1
                 word = self.source[start:self.pos]
-            self.tokens.append(Token("const", word, line))
+            self.tokens.append(Token("const", word, line, self._tok_col))
         else:
-            self.tokens.append(Token("ident", word, line))
+            self.tokens.append(Token("ident", word, line, self._tok_col))
 
     def _lex_operator(self) -> None:
         for op in OPERATORS:
             if self.source.startswith(op, self.pos):
-                self.tokens.append(Token("op", op, self.line))
+                self.tokens.append(Token("op", op, self.line, self._tok_col))
                 self.pos += len(op)
                 return
         raise self.error(f"unexpected character {self.source[self.pos]!r}")

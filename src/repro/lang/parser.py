@@ -170,12 +170,12 @@ class _Parser:
             keyword = self.next().value
             cond = self.parse_expression()
             if keyword == "if":
-                stmt = ast.If(cond=cond, then_body=[stmt], else_body=[], line=stmt.line)
+                stmt = ast.If(cond=cond, then_body=[stmt], else_body=[], line=stmt.line, col=stmt.col)
             elif keyword == "unless":
-                stmt = ast.If(cond=cond, then_body=[], else_body=[stmt], line=stmt.line)
+                stmt = ast.If(cond=cond, then_body=[], else_body=[stmt], line=stmt.line, col=stmt.col)
             else:
                 stmt = ast.While(
-                    cond=cond, body=[stmt], is_until=(keyword == "until"), line=stmt.line
+                    cond=cond, body=[stmt], is_until=(keyword == "until"), line=stmt.line, col=stmt.col
                 )
         return stmt
 
@@ -201,17 +201,17 @@ class _Parser:
                 return self.parse_return()
             if keyword == "break":
                 self.next()
-                return ast.Break(value=self._optional_expr(), line=token.line)
+                return ast.Break(value=self._optional_expr(), line=token.line, col=token.col)
             if keyword == "next":
                 self.next()
-                return ast.Next(value=self._optional_expr(), line=token.line)
+                return ast.Next(value=self._optional_expr(), line=token.line, col=token.col)
             if keyword == "raise":
                 self.next()
-                return ast.Raise(args=self._command_args(), line=token.line)
+                return ast.Raise(args=self._command_args(), line=token.line, col=token.col)
             if keyword in ("require", "require_relative"):
                 self.next()
                 self.parse_expression()
-                return ast.NilLit(line=token.line)
+                return ast.NilLit(line=token.line, col=token.col)
         # multi-assign lookahead: a, b = ...
         if token.kind == "ident" and self.at("op", ",", 1):
             multi = self._try_multi_assign()
@@ -237,21 +237,23 @@ class _Parser:
         if not self.at("op", "="):
             self.index = start
             return None
-        line = self.next().line
+        _pos_tok = self.next()
+        line, col = _pos_tok.line, _pos_tok.col
         values = [self.parse_expression()]
         while self.accept("op", ","):
             values.append(self.parse_expression())
         targets = []
         for name in names:
             self.scope.declare(name)
-            targets.append(ast.LocalVar(name=name, line=line))
-        return ast.MultiAssign(targets=targets, values=values, line=line)
+            targets.append(ast.LocalVar(name=name, line=line, col=col))
+        return ast.MultiAssign(targets=targets, values=values, line=line, col=col)
 
     # ------------------------------------------------------------------
     # definitions
     # ------------------------------------------------------------------
     def parse_def(self) -> ast.MethodDef:
-        line = self.expect("kw", "def").line
+        _pos_tok = self.expect("kw", "def")
+        line, col = _pos_tok.line, _pos_tok.col
         is_self = False
         if self.at("kw", "self") and self.at("op", ".", 1):
             self.next()
@@ -264,7 +266,7 @@ class _Parser:
         body = self.parse_stmts(("end",))
         self.expect("kw", "end")
         self.scope = outer_scope
-        return ast.MethodDef(name=name, params=params, body=body, is_self=is_self, line=line)
+        return ast.MethodDef(name=name, params=params, body=body, is_self=is_self, line=line, col=col)
 
     def _def_name(self) -> str:
         token = self.peek()
@@ -307,7 +309,7 @@ class _Parser:
             if self.accept("op", "="):
                 default = self.parse_expression()
             params.append(ast.Param(name=name, default=default, is_block=is_block,
-                                    is_splat=is_splat, line=self.peek().line))
+                                    is_splat=is_splat, line=self.peek().line, col=self.peek().col))
             self.scope.declare(name)
             if not self.accept("op", ","):
                 break
@@ -317,21 +319,23 @@ class _Parser:
         return params
 
     def parse_class(self) -> ast.ClassDef:
-        line = self.expect("kw", "class").line
+        _pos_tok = self.expect("kw", "class")
+        line, col = _pos_tok.line, _pos_tok.col
         name = str(self.expect("const").value)
         superclass = None
         if self.accept("op", "<"):
             superclass = str(self.expect("const").value)
         body = self.parse_stmts(("end",))
         self.expect("kw", "end")
-        return ast.ClassDef(name=name, superclass=superclass, body=body, line=line)
+        return ast.ClassDef(name=name, superclass=superclass, body=body, line=line, col=col)
 
     def parse_module(self) -> ast.ModuleDef:
-        line = self.expect("kw", "module").line
+        _pos_tok = self.expect("kw", "module")
+        line, col = _pos_tok.line, _pos_tok.col
         name = str(self.expect("const").value)
         body = self.parse_stmts(("end",))
         self.expect("kw", "end")
-        return ast.ModuleDef(name=name, body=body, line=line)
+        return ast.ModuleDef(name=name, body=body, line=line, col=col)
 
     # ------------------------------------------------------------------
     # control flow
@@ -352,10 +356,11 @@ class _Parser:
             self.expect("kw", "end")
         if is_unless:
             then_body, else_body = else_body, then_body
-        return ast.If(cond=cond, then_body=then_body, else_body=else_body, line=token.line)
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body, line=token.line, col=token.col)
 
     def parse_if_tail(self) -> ast.If:
-        line = self.expect("kw", "elsif").line
+        _pos_tok = self.expect("kw", "elsif")
+        line, col = _pos_tok.line, _pos_tok.col
         cond = self.parse_expression()
         self.accept("kw", "then")
         then_body = self.parse_stmts(("elsif", "else", "end"))
@@ -367,7 +372,7 @@ class _Parser:
             self.expect("kw", "end")
         else:
             self.expect("kw", "end")
-        return ast.If(cond=cond, then_body=then_body, else_body=else_body, line=line)
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body, line=line, col=col)
 
     def parse_while(self) -> ast.While:
         token = self.next()
@@ -375,31 +380,34 @@ class _Parser:
         self.accept("kw", "do")
         body = self.parse_stmts(("end",))
         self.expect("kw", "end")
-        return ast.While(cond=cond, body=body, is_until=(token.value == "until"), line=token.line)
+        return ast.While(cond=cond, body=body, is_until=(token.value == "until"), line=token.line, col=token.col)
 
     def parse_case(self) -> ast.Case:
-        line = self.expect("kw", "case").line
+        _pos_tok = self.expect("kw", "case")
+        line, col = _pos_tok.line, _pos_tok.col
         subject = None
         if not self.at("newline"):
             subject = self.parse_expression()
         self.skip_newlines()
         whens: list[ast.CaseWhen] = []
         while self.at("kw", "when"):
-            when_line = self.next().line
+            _pos_tok = self.next()
+            when_line, when_col = _pos_tok.line, _pos_tok.col
             values = [self.parse_expression()]
             while self.accept("op", ","):
                 values.append(self.parse_expression())
             self.accept("kw", "then")
             body = self.parse_stmts(("when", "else", "end"))
-            whens.append(ast.CaseWhen(values=values, body=body, line=when_line))
+            whens.append(ast.CaseWhen(values=values, body=body, line=when_line, col=when_col))
         else_body: list[ast.Node] = []
         if self.accept("kw", "else"):
             else_body = self.parse_stmts(("end",))
         self.expect("kw", "end")
-        return ast.Case(subject=subject, whens=whens, else_body=else_body, line=line)
+        return ast.Case(subject=subject, whens=whens, else_body=else_body, line=line, col=col)
 
     def parse_begin(self) -> ast.BeginRescue:
-        line = self.expect("kw", "begin").line
+        _pos_tok = self.expect("kw", "begin")
+        line, col = _pos_tok.line, _pos_tok.col
         body = self.parse_stmts(("rescue", "ensure", "end"))
         rescue_class = None
         rescue_var = None
@@ -416,11 +424,12 @@ class _Parser:
             ensure_body = self.parse_stmts(("end",))
         self.expect("kw", "end")
         return ast.BeginRescue(body=body, rescue_class=rescue_class, rescue_var=rescue_var,
-                               rescue_body=rescue_body, ensure_body=ensure_body, line=line)
+                               rescue_body=rescue_body, ensure_body=ensure_body, line=line, col=col)
 
     def parse_return(self) -> ast.Return:
-        line = self.expect("kw", "return").line
-        return ast.Return(value=self._optional_expr(), line=line)
+        _pos_tok = self.expect("kw", "return")
+        line, col = _pos_tok.line, _pos_tok.col
+        return ast.Return(value=self._optional_expr(), line=line, col=col)
 
     # ------------------------------------------------------------------
     # expressions
@@ -434,24 +443,27 @@ class _Parser:
         if token.kind != "op":
             return left
         if token.value == "=":
-            line = self.next().line
+            _pos_tok = self.next()
+            line, col = _pos_tok.line, _pos_tok.col
             self.skip_newlines()
             value = self.parse_assignment()
-            return self._make_assign(left, value, line)
+            return self._make_assign(left, value, line, col)
         if token.value in ("+=", "-=", "*=", "/=", "%="):
             op = str(token.value)[0]
-            line = self.next().line
+            _pos_tok = self.next()
+            line, col = _pos_tok.line, _pos_tok.col
             self.skip_newlines()
             value = self.parse_assignment()
-            combined = ast.MethodCall(receiver=left, name=op, args=[value], line=line)
-            return self._make_assign(_copy_target(left), combined, line)
+            combined = ast.MethodCall(receiver=left, name=op, args=[value], line=line, col=col)
+            return self._make_assign(_copy_target(left), combined, line, col)
         if token.value in ("||=", "&&="):
             op = str(token.value)[:2]
-            line = self.next().line
+            _pos_tok = self.next()
+            line, col = _pos_tok.line, _pos_tok.col
             self.skip_newlines()
             value = self.parse_assignment()
             self._declare_target(left)
-            return ast.OpAssign(target=left, op=op, value=value, line=line)
+            return ast.OpAssign(target=left, op=op, value=value, line=line, col=col)
         return left
 
     def _declare_target(self, target: ast.Node) -> None:
@@ -460,45 +472,49 @@ class _Parser:
         if isinstance(target, ast.MethodCall) and target.receiver is None and not target.args:
             self.scope.declare(target.name)
 
-    def _make_assign(self, left: ast.Node, value: ast.Node, line: int) -> ast.Node:
+    def _make_assign(self, left: ast.Node, value: ast.Node, line: int,
+                     col: int = 0) -> ast.Node:
         if isinstance(left, ast.MethodCall):
             if left.name == "[]" and left.receiver is not None:
                 return ast.IndexAssign(receiver=left.receiver, args=left.args,
-                                       value=value, line=line)
+                                       value=value, line=line, col=col)
             if left.receiver is not None and not left.args:
                 return ast.AttrAssign(receiver=left.receiver, name=left.name,
-                                      value=value, line=line)
+                                      value=value, line=line, col=col)
             if left.receiver is None and not left.args:
                 # `x = e` where x was parsed as a self-call: it's a new local
                 self.scope.declare(left.name)
-                return ast.Assign(target=ast.LocalVar(name=left.name, line=left.line),
-                                  value=value, line=line)
+                return ast.Assign(target=ast.LocalVar(name=left.name, line=left.line, col=left.col),
+                                  value=value, line=line, col=col)
         if isinstance(left, (ast.LocalVar, ast.IVar, ast.GVar, ast.ConstRef)):
             if isinstance(left, ast.LocalVar):
                 self.scope.declare(left.name)
-            return ast.Assign(target=left, value=value, line=line)
+            return ast.Assign(target=left, value=value, line=line, col=col)
         raise self.error("invalid assignment target")
 
     def parse_or(self) -> ast.Node:
         left = self.parse_and()
         while self.at("op", "||") or self.at("kw", "or"):
-            line = self.next().line
+            _pos_tok = self.next()
+            line, col = _pos_tok.line, _pos_tok.col
             self.skip_newlines()
-            left = ast.OrOp(left=left, right=self.parse_and(), line=line)
+            left = ast.OrOp(left=left, right=self.parse_and(), line=line, col=col)
         return left
 
     def parse_and(self) -> ast.Node:
         left = self.parse_not()
         while self.at("op", "&&") or self.at("kw", "and"):
-            line = self.next().line
+            _pos_tok = self.next()
+            line, col = _pos_tok.line, _pos_tok.col
             self.skip_newlines()
-            left = ast.AndOp(left=left, right=self.parse_not(), line=line)
+            left = ast.AndOp(left=left, right=self.parse_not(), line=line, col=col)
         return left
 
     def parse_not(self) -> ast.Node:
         if self.at("op", "!") or self.at("kw", "not"):
-            line = self.next().line
-            return ast.NotOp(operand=self.parse_not(), line=line)
+            _pos_tok = self.next()
+            line, col = _pos_tok.line, _pos_tok.col
+            return ast.NotOp(operand=self.parse_not(), line=line, col=col)
         return self.parse_equality()
 
     def _binop_chain(self, ops: tuple[str, ...], sub) -> ast.Node:
@@ -508,7 +524,7 @@ class _Parser:
             self.skip_newlines()
             right = sub()
             left = ast.MethodCall(receiver=left, name=str(token.value), args=[right],
-                                  line=token.line)
+                                  line=token.line, col=token.col)
         return left
 
     def parse_equality(self) -> ast.Node:
@@ -529,7 +545,7 @@ class _Parser:
             token = self.next()
             right = self.parse_shift()
             return ast.RangeLit(low=left, high=right,
-                                exclusive=(token.value == "..."), line=token.line)
+                                exclusive=(token.value == "..."), line=token.line, col=token.col)
         return left
 
     def parse_shift(self) -> ast.Node:
@@ -543,13 +559,14 @@ class _Parser:
 
     def parse_unary(self) -> ast.Node:
         if self.at("op", "-"):
-            line = self.next().line
+            _pos_tok = self.next()
+            line, col = _pos_tok.line, _pos_tok.col
             operand = self.parse_unary()
             if isinstance(operand, ast.IntLit):
-                return ast.IntLit(value=-operand.value, line=line)
+                return ast.IntLit(value=-operand.value, line=line, col=col)
             if isinstance(operand, ast.FloatLit):
-                return ast.FloatLit(value=-operand.value, line=line)
-            return ast.MethodCall(receiver=operand, name="-@", args=[], line=line)
+                return ast.FloatLit(value=-operand.value, line=line, col=col)
+            return ast.MethodCall(receiver=operand, name="-@", args=[], line=line, col=col)
         return self.parse_power()
 
     def parse_power(self) -> ast.Node:
@@ -557,7 +574,7 @@ class _Parser:
         if self.at("op", "**"):
             token = self.next()
             right = self.parse_unary()  # right associative
-            return ast.MethodCall(receiver=left, name="**", args=[right], line=token.line)
+            return ast.MethodCall(receiver=left, name="**", args=[right], line=token.line, col=token.col)
         return left
 
     # ------------------------------------------------------------------
@@ -573,13 +590,14 @@ class _Parser:
                 self.next()
                 name = str(self.next().value)
                 if isinstance(node, ast.ConstRef):
-                    node = ast.ConstRef(name=f"{node.name}::{name}", line=node.line)
+                    node = ast.ConstRef(name=f"{node.name}::{name}", line=node.line, col=node.col)
                 else:
-                    node = ast.MethodCall(receiver=node, name=name, args=[], line=node.line)
+                    node = ast.MethodCall(receiver=node, name=name, args=[], line=node.line, col=node.col)
             elif self.at("op", "["):
-                line = self.next().line
+                _pos_tok = self.next()
+                line, col = _pos_tok.line, _pos_tok.col
                 args = self._bracket_args("]")
-                node = ast.MethodCall(receiver=node, name="[]", args=args, line=line)
+                node = ast.MethodCall(receiver=node, name="[]", args=args, line=line, col=col)
             elif self.at("newline") and self._next_nonblank_is_dot():
                 self.skip_newlines()
                 # loop back around; the '.' branch will fire
@@ -604,7 +622,7 @@ class _Parser:
             args = self._bracket_args(")")
             block_arg = self._take_block_arg()
         call = ast.MethodCall(receiver=receiver, name=name, args=args,
-                              block_arg=block_arg, line=token.line)
+                              block_arg=block_arg, line=token.line, col=token.col)
         call.block = self._maybe_block()
         return call
 
@@ -623,7 +641,8 @@ class _Parser:
         return None
 
     def _parse_block_body(self, closer: str, brace: bool) -> ast.BlockNode:
-        line = self.peek().line
+        _pos_tok = self.peek()
+        line, col = _pos_tok.line, _pos_tok.col
         outer = self.scope
         self.scope = _Scope(parent=outer)
         params: list[ast.Param] = []
@@ -632,7 +651,7 @@ class _Parser:
             while not self.at("op", "|"):
                 is_splat = bool(self.accept("op", "*"))
                 name = str(self.expect("ident").value)
-                params.append(ast.Param(name=name, is_splat=is_splat, line=self.peek().line))
+                params.append(ast.Param(name=name, is_splat=is_splat, line=self.peek().line, col=self.peek().col))
                 self.scope.declare(name)
                 if not self.accept("op", ","):
                     break
@@ -643,7 +662,7 @@ class _Parser:
             body = self.parse_stmts(("end",))
             self.expect("kw", "end")
         self.scope = outer
-        return ast.BlockNode(params=params, body=body, line=line)
+        return ast.BlockNode(params=params, body=body, line=line, col=col)
 
     def _parse_brace_block_stmts(self) -> list[ast.Node]:
         stmts: list[ast.Node] = []
@@ -664,28 +683,28 @@ class _Parser:
         kind = token.kind
         if kind == "int":
             self.next()
-            return ast.IntLit(value=int(token.value), line=token.line)
+            return ast.IntLit(value=int(token.value), line=token.line, col=token.col)
         if kind == "float":
             self.next()
-            return ast.FloatLit(value=float(token.value), line=token.line)
+            return ast.FloatLit(value=float(token.value), line=token.line, col=token.col)
         if kind == "string":
             self.next()
-            return ast.StrLit(value=str(token.value), line=token.line)
+            return ast.StrLit(value=str(token.value), line=token.line, col=token.col)
         if kind == "dstring":
             self.next()
             return self._build_interp(token)
         if kind == "symbol":
             self.next()
-            return ast.SymLit(name=str(token.value), line=token.line)
+            return ast.SymLit(name=str(token.value), line=token.line, col=token.col)
         if kind == "ivar":
             self.next()
-            return ast.IVar(name=str(token.value), line=token.line)
+            return ast.IVar(name=str(token.value), line=token.line, col=token.col)
         if kind == "gvar":
             self.next()
-            return ast.GVar(name=str(token.value), line=token.line)
+            return ast.GVar(name=str(token.value), line=token.line, col=token.col)
         if kind == "const":
             self.next()
-            node: ast.Node = ast.ConstRef(name=str(token.value), line=token.line)
+            node: ast.Node = ast.ConstRef(name=str(token.value), line=token.line, col=token.col)
             return node
         if kind == "kw":
             return self._parse_keyword_primary(token)
@@ -700,10 +719,10 @@ class _Parser:
             if token.value == "[":
                 self.next()
                 elements = self._bracket_args("]")
-                return ast.ArrayLit(elements=elements, line=token.line)
+                return ast.ArrayLit(elements=elements, line=token.line, col=token.col)
             if token.value == "{":
                 self.next()
-                return self._parse_hash_literal(token.line)
+                return self._parse_hash_literal(token.line, token.col)
             if token.value == "->":
                 return self._parse_stabby_lambda()
         if kind == "ident":
@@ -714,30 +733,30 @@ class _Parser:
         keyword = token.value
         if keyword == "nil":
             self.next()
-            return ast.NilLit(line=token.line)
+            return ast.NilLit(line=token.line, col=token.col)
         if keyword == "true":
             self.next()
-            return ast.TrueLit(line=token.line)
+            return ast.TrueLit(line=token.line, col=token.col)
         if keyword == "false":
             self.next()
-            return ast.FalseLit(line=token.line)
+            return ast.FalseLit(line=token.line, col=token.col)
         if keyword == "self":
             self.next()
-            return ast.SelfExpr(line=token.line)
+            return ast.SelfExpr(line=token.line, col=token.col)
         if keyword == "yield":
             self.next()
             if self.accept("op", "("):
                 args = self._bracket_args(")")
             else:
                 args = self._command_args()
-            return ast.Yield(args=args, line=token.line)
+            return ast.Yield(args=args, line=token.line, col=token.col)
         if keyword in ("lambda", "proc"):
             self.next()
             block = self._maybe_block()
             if block is None:
                 raise self.error(f"{keyword} requires a block")
             return ast.MethodCall(receiver=None, name="lambda", args=[], block=block,
-                                  line=token.line)
+                                  line=token.line, col=token.col)
         if keyword in ("if", "unless"):
             return self.parse_if()
         if keyword == "case":
@@ -746,18 +765,19 @@ class _Parser:
             return self.parse_begin()
         if keyword == "raise":
             self.next()
-            return ast.Raise(args=self._command_args(), line=token.line)
+            return ast.Raise(args=self._command_args(), line=token.line, col=token.col)
         raise self.error(f"unexpected keyword {keyword!r}")
 
     def _parse_stabby_lambda(self) -> ast.Node:
-        line = self.expect("op", "->").line
+        _pos_tok = self.expect("op", "->")
+        line, col = _pos_tok.line, _pos_tok.col
         outer = self.scope
         self.scope = _Scope(parent=outer)
         params: list[ast.Param] = []
         if self.accept("op", "("):
             while not self.at("op", ")"):
                 name = str(self.expect("ident").value)
-                params.append(ast.Param(name=name, line=line))
+                params.append(ast.Param(name=name, line=line, col=col))
                 self.scope.declare(name)
                 if not self.accept("op", ","):
                     break
@@ -765,8 +785,8 @@ class _Parser:
         self.expect("op", "{")
         body = self._parse_brace_block_stmts()
         self.scope = outer
-        block = ast.BlockNode(params=params, body=body, line=line)
-        return ast.MethodCall(receiver=None, name="lambda", args=[], block=block, line=line)
+        block = ast.BlockNode(params=params, body=body, line=line, col=col)
+        return ast.MethodCall(receiver=None, name="lambda", args=[], block=block, line=line, col=col)
 
     def _parse_ident_primary(self, token: Token) -> ast.Node:
         self.next()
@@ -774,24 +794,24 @@ class _Parser:
         if name == "defined?" and self.accept("op", "("):
             operand = self.parse_expression()
             self.expect("op", ")")
-            return ast.Defined(operand=operand, line=token.line)
+            return ast.Defined(operand=operand, line=token.line, col=token.col)
         if self.at("op", "("):
             self.next()
             args = self._bracket_args(")")
             call = ast.MethodCall(receiver=None, name=name, args=args,
-                                  block_arg=self._take_block_arg(), line=token.line)
+                                  block_arg=self._take_block_arg(), line=token.line, col=token.col)
             call.block = self._maybe_block()
             return call
         if self.scope.knows(name):
-            return ast.LocalVar(name=name, line=token.line)
+            return ast.LocalVar(name=name, line=token.line, col=token.col)
         # command call (paren-less) if the next token can begin an argument
         if self._starts_command_arg():
             args = self._command_args()
             call = ast.MethodCall(receiver=None, name=name, args=args,
-                                  block_arg=self._take_block_arg(), line=token.line)
+                                  block_arg=self._take_block_arg(), line=token.line, col=token.col)
             call.block = self._maybe_block()
             return call
-        call = ast.MethodCall(receiver=None, name=name, args=[], line=token.line)
+        call = ast.MethodCall(receiver=None, name=name, args=[], line=token.line, col=token.col)
         call.block = self._maybe_block()
         return call
 
@@ -836,16 +856,17 @@ class _Parser:
                 self.skip_newlines()
                 value = self.parse_expression()
                 kw_pairs.append(
-                    (ast.SymLit(name=str(key_token.value), line=key_token.line), value)
+                    (ast.SymLit(name=str(key_token.value), line=key_token.line, col=key_token.col), value)
                 )
             elif self.at("op", "&"):
                 # block-pass argument `&:sym` / `&blk` becomes the call's block
                 self.next()
                 self._pending_block_arg = self.parse_expression()
             elif self.at("op", "*"):
-                line = self.next().line
+                _pos_tok = self.next()
+                line, col = _pos_tok.line, _pos_tok.col
                 inner = self.parse_expression()
-                args.append(ast.MethodCall(receiver=inner, name="to_a", args=[], line=line))
+                args.append(ast.MethodCall(receiver=inner, name="to_a", args=[], line=line, col=col))
             else:
                 args.append(self.parse_expression())
             if closer is not None:
@@ -855,7 +876,7 @@ class _Parser:
             if closer is not None:
                 self.skip_newlines()
         if kw_pairs:
-            args.append(ast.HashLit(pairs=kw_pairs, line=kw_pairs[0][0].line))
+            args.append(ast.HashLit(pairs=kw_pairs, line=kw_pairs[0][0].line, col=kw_pairs[0][0].col))
         return args
 
     def _at_kwarg(self) -> bool:
@@ -865,11 +886,11 @@ class _Parser:
             and not self.at("op", "::", 1)
         )
 
-    def _parse_hash_literal(self, line: int) -> ast.HashLit:
+    def _parse_hash_literal(self, line: int, col: int = 0) -> ast.HashLit:
         pairs: list[tuple[ast.Node, ast.Node]] = []
         self.skip_newlines()
         if self.accept("op", "}"):
-            return ast.HashLit(pairs=pairs, line=line)
+            return ast.HashLit(pairs=pairs, line=line, col=col)
         while True:
             self.skip_newlines()
             pairs.append(self._parse_hash_pair())
@@ -878,7 +899,7 @@ class _Parser:
                 break
         self.skip_newlines()
         self.expect("op", "}")
-        return ast.HashLit(pairs=pairs, line=line)
+        return ast.HashLit(pairs=pairs, line=line, col=col)
 
     def _parse_hash_pair(self) -> tuple[ast.Node, ast.Node]:
         token = self.peek()
@@ -886,7 +907,7 @@ class _Parser:
             self.next()
             self.next()
             self.skip_newlines()
-            return (ast.SymLit(name=str(token.value), line=token.line),
+            return (ast.SymLit(name=str(token.value), line=token.line, col=token.col),
                     self.parse_expression())
         key = self.parse_expression()
         self.expect("op", "=>")
@@ -903,18 +924,18 @@ class _Parser:
                 sub_parser = _Parser(sub_tokens, scope=self.scope)
                 sub_parser.skip_newlines()
                 parts.append(sub_parser.parse_expression())
-        return ast.StrInterp(parts=parts, line=token.line)
+        return ast.StrInterp(parts=parts, line=token.line, col=token.col)
 
 
 def _copy_target(node: ast.Node) -> ast.Node:
     """Re-usable copy of an assignment target for `x += 1` desugaring."""
     if isinstance(node, ast.LocalVar):
-        return ast.LocalVar(name=node.name, line=node.line)
+        return ast.LocalVar(name=node.name, line=node.line, col=node.col)
     if isinstance(node, ast.IVar):
-        return ast.IVar(name=node.name, line=node.line)
+        return ast.IVar(name=node.name, line=node.line, col=node.col)
     if isinstance(node, ast.GVar):
-        return ast.GVar(name=node.name, line=node.line)
+        return ast.GVar(name=node.name, line=node.line, col=node.col)
     if isinstance(node, ast.MethodCall):
         return ast.MethodCall(receiver=node.receiver, name=node.name,
-                              args=node.args, line=node.line)
+                              args=node.args, line=node.line, col=node.col)
     return node

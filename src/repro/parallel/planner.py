@@ -60,12 +60,25 @@ def comp_site_count(node) -> int:
     return count
 
 
-def method_cost(spec: MethodSpec, registry=None, stats=None) -> float:
-    """Predicted checking cost (seconds) for one method."""
+def method_cost(spec: MethodSpec, registry=None, stats=None,
+                static_costs: dict | None = None) -> float:
+    """Predicted checking cost (seconds) for one method.
+
+    Sources, best first: the observed wall-time EWMA, the static-analysis
+    cost weight (``repro.analysis`` — comps/tables the method's footprint
+    actually reaches), then the raw comp-site count heuristic.
+    """
     if stats is not None:
         observed = stats.method_costs.get(spec.desc)
         if observed is not None:
             return max(observed, 1e-6)
+    if static_costs is not None:
+        weight = static_costs.get(spec.desc)
+        if weight is not None:
+            if stats is not None:
+                stats.extra["analysis_static_costs"] = \
+                    stats.extra.get("analysis_static_costs", 0) + 1
+            return BASE_METHOD_COST * weight
     sites = 0
     if registry is not None:
         node = registry.defined_methods.get(spec.key())
@@ -117,12 +130,15 @@ def plan_shards(
     stats=None,
     build_costs: dict[str, float] | None = None,
     split_bias: float = 1.0,
+    static_costs: dict | None = None,
 ) -> list[Shard]:
     """Partition ``specs`` into at most ``workers`` balanced shards.
 
     ``registry_for_label`` maps a label to the AnnotationRegistry holding its
     method bodies (for the comp-count heuristic); ``build_costs`` carries
-    observed per-label app build times.  Three phases:
+    observed per-label app build times; ``static_costs`` maps method descs
+    to analysis-derived cost weights (``AnalysisReport.static_costs()``),
+    consulted when no wall time has been observed yet.  Three phases:
 
     1. **bin** — one bin per label, methods costed individually;
     2. **split** — while there are spare workers, halve the bin whose check
@@ -143,7 +159,7 @@ def plan_shards(
     by_label: dict[str, _Bin] = {}
     for spec in specs:
         registry = registry_for_label(spec.label) if registry_for_label else None
-        cost = method_cost(spec, registry, stats)
+        cost = method_cost(spec, registry, stats, static_costs)
         existing = by_label.get(spec.label)
         if existing is None:
             existing = _Bin(

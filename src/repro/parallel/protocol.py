@@ -40,14 +40,16 @@ _ERROR_KINDS = {
 }
 
 
-def encode_error(error: StaticTypeError) -> tuple[str, str, int, str]:
+def encode_error(error: StaticTypeError) -> tuple[str, str, int, str, int]:
     kind = "termination" if isinstance(error, TerminationError) else "static"
-    return (kind, error.message, error.line, error.method)
+    return (kind, error.message, error.line, error.method,
+            getattr(error, "col", 0))
 
 
-def decode_error(record: tuple[str, str, int, str]) -> StaticTypeError:
-    kind, message, line, method = record
-    return _ERROR_KINDS.get(kind, StaticTypeError)(message, line, method)
+def decode_error(record: tuple) -> StaticTypeError:
+    kind, message, line, method = record[:4]
+    col = record[4] if len(record) > 4 else 0
+    return _ERROR_KINDS.get(kind, StaticTypeError)(message, line, method, col)
 
 
 @dataclass(frozen=True)

@@ -4,14 +4,24 @@ from __future__ import annotations
 
 
 class RubyError(Exception):
-    """A mini-Ruby runtime error (NoMethodError, NameError, ...)."""
+    """A mini-Ruby runtime error (NoMethodError, NameError, ...).
 
-    def __init__(self, kind: str, message: str, line: int = 0):
-        location = f" (line {line})" if line else ""
+    ``col`` is the 1-based source column when known (0 otherwise) and is
+    only rendered when present.
+    """
+
+    def __init__(self, kind: str, message: str, line: int = 0, col: int = 0):
+        if line and col:
+            location = f" (line {line}:{col})"
+        elif line:
+            location = f" (line {line})"
+        else:
+            location = ""
         super().__init__(f"{kind}: {message}{location}")
         self.kind = kind
         self.message = message
         self.line = line
+        self.col = col
 
 
 class Blame(RubyError):
@@ -23,5 +33,5 @@ class Blame(RubyError):
     (mutable-state consistency, §4).
     """
 
-    def __init__(self, message: str, line: int = 0):
-        super().__init__("Blame", message, line)
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__("Blame", message, line, col)

@@ -832,6 +832,7 @@ class TypeChecker:
                 comp_results=comp_results,
                 engine=self.engine,
                 line=node.line,
+                col=getattr(node, "col", 0),
             )
 
         # impure methods on precise mutable receivers trigger weak updates

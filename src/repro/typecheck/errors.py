@@ -6,15 +6,27 @@ from dataclasses import dataclass, field
 
 
 class StaticTypeError(Exception):
-    """A static type error found while checking a method body."""
+    """A static type error found while checking a method body.
 
-    def __init__(self, message: str, line: int = 0, method: str = ""):
+    ``col`` is the 1-based source column when known (0 otherwise); it is
+    only rendered when present, so errors raised from positions that have
+    no column keep their historical format.
+    """
+
+    def __init__(self, message: str, line: int = 0, method: str = "",
+                 col: int = 0):
         where = f" in {method}" if method else ""
-        at = f" (line {line})" if line else ""
+        if line and col:
+            at = f" (line {line}:{col})"
+        elif line:
+            at = f" (line {line})"
+        else:
+            at = ""
         super().__init__(f"{message}{where}{at}")
         self.message = message
         self.line = line
         self.method = method
+        self.col = col
 
 
 class TerminationError(StaticTypeError):

@@ -1,0 +1,57 @@
+"""The committed analysis baseline and the diagnostics CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+
+def test_baseline_matches_current_analysis(capsys):
+    """CI contract: the analyzer's output over all six apps equals the
+    committed baseline byte-for-byte (JSON-normalized)."""
+    assert main(["--check-baseline", BASELINE]) == 0
+    out = capsys.readouterr().out
+    assert "baseline ok" in out
+
+
+def test_baseline_drift_detected(tmp_path, capsys):
+    with open(BASELINE) as handle:
+        baseline = json.load(handle)
+    baseline["discourse"]["counts"]["methods"] += 1
+    drifted = tmp_path / "drifted.json"
+    drifted.write_text(json.dumps(baseline))
+    assert main(["--check-baseline", str(drifted)]) == 1
+    out = capsys.readouterr().out
+    assert "drifted" in out and "discourse" in out
+
+
+def test_cli_single_app_text(capsys):
+    assert main(["--app", "twitter"]) == 0
+    out = capsys.readouterr().out
+    assert "Static analysis — twitter" in out
+    assert "methods analysed" in out
+
+
+def test_cli_json_shape(capsys):
+    assert main(["--app", "huginn", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"huginn"}
+    report = payload["huginn"]
+    assert set(report) == {"label", "counts", "methods", "diagnostics"}
+    assert report["counts"]["methods"] == len(report["methods"])
+
+
+def test_cli_unknown_app_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["--app", "nope"])
+
+
+def test_write_baseline_round_trips(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    assert main(["--app", "twitter", "--write-baseline", str(path)]) == 0
+    capsys.readouterr()
+    assert main(["--app", "twitter", "--check-baseline", str(path)]) == 0

@@ -1,0 +1,102 @@
+"""Effect-lint diagnostics: the §4 termination rules as static findings."""
+
+import pytest
+
+from repro import CompRDL, Database
+from repro.analysis.lint import EffectLinter, lint_universe
+
+
+@pytest.fixture
+def rdl():
+    db = Database()
+    db.create_table("users", username="string")
+    return CompRDL(db=db)
+
+
+def rules_of(diagnostics):
+    return {diag.rule for diag in diagnostics}
+
+
+class TestCompLint:
+    def test_clean_comp_has_no_findings(self, rdl):
+        linter = EffectLinter(rdl.registry, rdl.interp)
+        assert linter.lint_comp("Nominal.new(Integer)", "T#m") == []
+
+    def test_while_loop_reported(self, rdl):
+        linter = EffectLinter(rdl.registry, rdl.interp)
+        findings = linter.lint_comp("while true\nend\nInteger", "T#m")
+        assert rules_of(findings) == {"COMP001"}
+        assert findings[0].severity == "error"
+        assert findings[0].line >= 1
+
+    def test_impure_iterator_block_reported(self, rdl):
+        linter = EffectLinter(rdl.registry, rdl.interp)
+        findings = linter.lint_comp(
+            "a = [1,2,3]\na.map { |v| a.push(4) }\nInteger", "T#m")
+        assert "COMP003" in rules_of(findings)
+
+    def test_unparseable_comp_reported(self, rdl):
+        linter = EffectLinter(rdl.registry, rdl.interp)
+        findings = linter.lint_comp("def broken", "T#m")
+        assert rules_of(findings) == {"COMP000"}
+
+    def test_all_findings_reported_not_just_first(self, rdl):
+        linter = EffectLinter(rdl.registry, rdl.interp)
+        findings = linter.lint_comp(
+            "while true\nend\nwhile false\nend\nInteger", "T#m")
+        assert len([f for f in findings if f.rule == "COMP001"]) == 2
+
+
+class TestUniverseLint:
+    def test_annotation_comp_violation_surfaces(self, rdl):
+        # Widget is not a core class, so Widget.fetch_all gets the
+        # conservative (-, -) default effect — exactly what the dynamic
+        # checker would raise TerminationError for if this comp evaluated
+        rdl.load(
+            'class User < ActiveRecord::Base\n'
+            '  type "() -> {| Widget.fetch_all |}", typecheck: :demo\n'
+            '  def risky\n'
+            '    1\n'
+            '  end\n'
+            'end\n')
+        diagnostics = lint_universe(rdl)
+        mine = [d for d in diagnostics if d.rule == "COMP002"]
+        assert mine
+        assert any("User" in d.owner for d in mine)
+        assert any(d.rule == "COMP004" for d in diagnostics)
+
+    def test_helper_recursion_cycle_reported(self, rdl):
+        rdl.load(
+            "def spin(x)\n"
+            "  if x > 0\n"
+            "    spin(x - 1)\n"
+            "  end\n"
+            "  Integer\n"
+            "end\n"
+            "comp_helper :spin\n")
+        diagnostics = lint_universe(rdl)
+        cycles = [d for d in diagnostics if d.rule == "COMP005"]
+        assert any("spin" in d.owner for d in cycles)
+        assert all(d.severity == "warning" for d in cycles)
+
+    def test_library_universe_is_clean(self, rdl):
+        # the shipped comp-type libraries all pass their own lint — the
+        # dynamic termination checker would have rejected them otherwise
+        diagnostics = lint_universe(rdl)
+        assert [d for d in diagnostics if d.severity == "error"] == []
+
+
+class TestDiagnosticRendering:
+    def test_render_includes_position(self, rdl):
+        linter = EffectLinter(rdl.registry, rdl.interp)
+        findings = linter.lint_comp("while true\nend\nInteger", "User#m")
+        text = findings[0].render()
+        assert "COMP001" in text and "User#m" in text and "error" in text
+
+    def test_to_json_round_trip(self, rdl):
+        linter = EffectLinter(rdl.registry, rdl.interp)
+        findings = linter.lint_comp("while true\nend\nInteger", "User#m")
+        payload = findings[0].to_json()
+        assert payload["rule"] == "COMP001"
+        assert payload["owner"] == "User#m"
+        assert payload["line"] >= 1

@@ -115,6 +115,29 @@ class TestTermination:
         t = evaluate(rdl, "fallback_hash_type")
         assert t == GenericType("Hash", [NominalType("Symbol"), NominalType("Object")])
 
+    def test_recursive_helper_cycle_assumed_not_verified(self, rdl):
+        # A helper-call cycle is *assumed* terminating (the paper's
+        # recursion-free assumption), not silently treated as verified:
+        # the checker must record the optimistic assumption via obs.
+        from repro import obs
+
+        rdl.load("def spin(x)\n  if x > 0\n    spin(x - 1)\n  end\n  Integer\nend")
+        obs.reset()
+        obs.enable()
+        try:
+            t = evaluate(rdl, "spin(1)")
+        finally:
+            names = [e["name"] for e in obs.events()]
+            cycles = obs.counters().get("termination.cycle_assumed", 0)
+            obs.disable()
+            obs.reset()
+        assert t == NominalType("Integer")
+        assert cycles >= 1
+        assert "termination.cycle_assumed" in names
+        # the cycle key must name the helper that recursed
+        checker = rdl.checker.engine.termination
+        assert "Object#spin" in checker._verified
+
 
 class TestConsistencyCache:
     def test_cache_invalidated_by_schema_change(self, rdl):
