@@ -1,0 +1,108 @@
+"""Benchmark: differential storm throughput and fault-storm overhead.
+
+Three measurements over fixed seeds (deterministic, so history entries
+are comparable run to run):
+
+* **migrations storm** — serial twins only (memory, sqlite, full-check
+  oracle): the raw cost of replaying one event stream three ways and
+  asserting invariants 1, 2 and 4 at every checkpoint.
+* **warm storm** — adds the warm-session twin (invariant 3): the extra
+  column is what session workers cost per checkpoint.
+* **fault storm** — the ``faults`` profile (worker kill + wedged reply +
+  injected storage error): the recorded wall time is the price of
+  graceful degradation, and the gate is the harness's own wall bound.
+
+Parity gates unconditionally: every storm must end ``ok`` — a fast fuzz
+round that violates an invariant is a bug, not a result.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_fuzz.py [--quick]
+[--json PATH]`` (``BENCH_QUICK=1`` implies ``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results",
+                            "bench_fuzz.json")
+
+
+def _storm_row(config) -> dict:
+    from repro.fuzz import run_storm
+    from repro.fuzz.harness import max_wall_bound
+
+    start = time.perf_counter()
+    report = run_storm(config)
+    wall = time.perf_counter() - start
+    row = {
+        "profile": config.profile,
+        "seed": config.seed,
+        "steps": report.steps_run,
+        "checkpoints": report.checkpoints,
+        "warm_remote": report.warm_remote,
+        "ok": report.ok,
+        "storm_wall_s": round(report.wall_s, 3),
+        "total_wall_s": round(wall, 3),
+        "checkpoints_per_s": round(report.checkpoints / max(report.wall_s,
+                                                            1e-9), 2),
+    }
+    if config.profile == "faults":
+        row["wall_bound_s"] = max_wall_bound(config)
+        row["within_bound"] = report.wall_s <= max_wall_bound(config)
+    if not report.ok:
+        row["violation"] = str(report.violation)
+    return row
+
+
+def main() -> int:
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument("--quick", action="store_true",
+                     help="smaller storms (CI mode; BENCH_QUICK=1 implies)")
+    cli.add_argument("--json", default=os.environ.get("BENCH_JSON",
+                                                      RESULTS_PATH))
+    options = cli.parse_args()
+    quick = options.quick or os.environ.get("BENCH_QUICK") == "1"
+
+    from repro.fuzz import StormConfig
+
+    steps = 20 if quick else 50
+    configs = [
+        StormConfig(seed=0, steps=steps, profile="migrations"),
+        StormConfig(seed=0, steps=steps, profile="storm"),
+        StormConfig(seed=0, steps=12 if quick else steps, profile="faults",
+                    deadline_s=1.5 if quick else 3.0),
+    ]
+    rows = [_storm_row(config) for config in configs]
+
+    failed = [row for row in rows
+              if not row["ok"] or not row.get("within_bound", True)]
+    summary = {
+        "bench": "fuzz",
+        "quick": quick,
+        "storms": rows,
+        "pass": not failed,
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(options.json)),
+                exist_ok=True)
+    with open(options.json, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for row in rows:
+        print(f"{row['profile']:>11}: steps={row['steps']} "
+              f"checkpoints={row['checkpoints']} "
+              f"wall={row['storm_wall_s']}s "
+              f"({row['checkpoints_per_s']}/s) "
+              f"{'OK' if row['ok'] else 'FAIL'}")
+    if failed:
+        print(f"FAILED: {[row['profile'] for row in failed]}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

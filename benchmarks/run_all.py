@@ -7,8 +7,8 @@ tracking.  Two benchmark styles are dispatched automatically:
 
 * **script benchmarks** (``bench_incremental``, ``bench_parallel``,
   ``bench_backends``, ``bench_hotpath``, ``bench_warm``,
-  ``bench_analysis``) have a ``main()`` and quick/JSON switches of their
-  own;
+  ``bench_analysis``, ``bench_fuzz``) have a ``main()`` and quick/JSON
+  switches of their own;
 * **pytest benchmarks** (everything else) run under pytest with
   pytest-benchmark forced to one warm-up-free round, writing its own
   ``--benchmark-json``.
@@ -145,7 +145,8 @@ def main() -> int:
         name = os.path.splitext(os.path.basename(path))[0]
         json_path = os.path.join(out, f"{name}.json")
         env_one = env
-        if name in ("bench_parallel", "bench_warm", "bench_analysis"):
+        if name in ("bench_parallel", "bench_warm", "bench_analysis",
+                    "bench_fuzz"):
             cmd = [sys.executable, path, "--quick", "--json", json_path]
         elif name in ("bench_incremental", "bench_backends", "bench_hotpath"):
             cmd = [sys.executable, path]

@@ -101,6 +101,11 @@ class CompRDL:
         self._method_event_log: list = []
         self._migrating_loads = False
         self._warm_engine = None
+        # per-recv reply deadline for warm session workers (None → the
+        # process default, sessions.DEADLINE_S); set before the first
+        # recheck_dirty(workers=N) call — the fuzzer's fault profile uses a
+        # tight deadline so a wedged worker is detected within the round
+        self.warm_deadline_s: float | None = None
         self.registry.add_method_listener(self._note_method_event)
 
     # ------------------------------------------------------------------
@@ -233,6 +238,7 @@ class CompRDL:
                 workers=workers,
                 stats=self.incremental_stats,
                 backend=self.db.backend_name,
+                deadline_s=self.warm_deadline_s,
             )
             self._warm_engine = engine
         return engine.recheck_dirty(self)

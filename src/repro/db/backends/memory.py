@@ -78,7 +78,12 @@ class MemoryBackend(StorageBackend):
 
     # -- rows --------------------------------------------------------------
     def insert(self, table, row) -> None:
-        self.rows[table].append(row)
+        # SQL semantics: NULL and absent are the same observation — a real
+        # engine's row reads omit NULL columns (see SqliteBackend), so an
+        # explicit None must not be stored as a present key.  (Found by the
+        # migration fuzzer: `insert({"payload": None})` diverged.)
+        self.rows[table].append(
+            {name: value for name, value in row.items() if value is not None})
 
     def all_rows(self, table) -> list[dict]:
         return list(self.rows.get(table, []))
@@ -88,7 +93,13 @@ class MemoryBackend(StorageBackend):
         changed = 0
         for row in self.rows[table]:
             if predicate(row):
-                row.update(updates)
+                for name, value in updates.items():
+                    if value is None:
+                        # UPDATE ... SET col = NULL: the column reads as
+                        # absent afterwards, same as the sqlite engine
+                        row.pop(name, None)
+                    else:
+                        row[name] = value
                 changed += 1
         return changed
 

@@ -15,8 +15,11 @@ from repro.incremental.versioning import (
     SchemaEvent,
     SchemaJournal,
 )
+from repro.obs import faults as _faults
 from repro.obs.spans import bump, event, span
 from repro.obs.state import ENABLED as _OBS_ON
+
+_FAULTS_ON = _faults.ENABLED  # cached cell: zero-cost guard when off
 from repro.rtypes import FiniteHashType, GenericType, NominalType, RType
 from repro.rtypes.kinds import Sym
 from repro.runtime.objects import RHash, RString
@@ -320,6 +323,10 @@ class Database:
                         f"cannot replay {replay_event.describe()}: replica is "
                         f"at generation {self.version} (event stream has a "
                         f"gap)")
+                if _FAULTS_ON[0]:
+                    # injected mid-sequence failure (fuzz harness): with
+                    # `after=N` this is a genuine partial replay
+                    _faults.fire("db.replay.event")
                 self._apply_event(replay_event)
                 if self.version != replay_event.generation:
                     raise ReplayError(

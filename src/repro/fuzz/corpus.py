@@ -1,0 +1,65 @@
+"""The crash corpus: failing sequences as committed regression tests.
+
+A crasher file is one JSON document — the app, profile, seed, the
+invariant that failed, and the (shrunk) event list.  ``tests/fuzz``
+replays every file under ``tests/fuzz/corpus/`` on every run, so a parity
+bug found by one storm can never quietly return.
+
+Workflow: ``python -m repro.fuzz --seed S`` reproduces a failure
+deterministically; on failure the CLI shrinks it and writes a crasher
+JSON (``--save-crashers DIR``); committing that file under
+``tests/fuzz/corpus/`` turns it into a permanent tier-1 test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.fuzz.events import events_from_json, events_to_json
+
+#: repo-relative home of committed crashers (the CLI prints it)
+CORPUS_DIR = os.path.join("tests", "fuzz", "corpus")
+
+FORMAT_VERSION = 1
+
+
+def crasher_record(report) -> dict:
+    """A JSON-ready record for a failing :class:`FuzzReport`."""
+    violation = report.violation
+    return {
+        "format": FORMAT_VERSION,
+        "app": report.config.app,
+        "profile": report.config.profile,
+        "seed": report.config.seed,
+        "steps": report.config.steps,
+        "invariant": violation.invariant if violation else None,
+        "detail": violation.detail if violation else None,
+        "repro": report.config.repro_command(),
+        "events": events_to_json(report.events),
+    }
+
+
+def save_crasher(report, directory: str, name: str | None = None) -> str:
+    """Write a failing report's record into ``directory``; returns the
+    path.  The default name encodes profile/seed/invariant so a directory
+    of crashers reads as an index."""
+    os.makedirs(directory, exist_ok=True)
+    violation = report.violation
+    invariant = violation.invariant if violation else "unknown"
+    name = name or (f"{report.config.profile}_seed{report.config.seed}"
+                    f"_{invariant.replace('/', '_')}.json")
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(crasher_record(report), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_crasher(path: str) -> tuple[dict, list]:
+    """Read one crasher file → (metadata, events)."""
+    with open(path, encoding="utf-8") as fh:
+        record = json.load(fh)
+    events = events_from_json(record.get("events", []))
+    meta = {key: value for key, value in record.items() if key != "events"}
+    return meta, events

@@ -1,0 +1,127 @@
+"""The fuzzer's event vocabulary: one picklable, JSON-round-trippable step.
+
+A :class:`Step` is the unit the generator emits, the harness applies, the
+shrinker deletes, and the corpus stores.  Every field the replay needs is
+*in* the step (literal values included), so any subsequence of a recorded
+sequence replays deterministically with no generator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+#: column kind → the mini-Ruby type name a probe's signature uses
+KIND_TYPES = {
+    "integer": "Integer",
+    "float": "Float",
+    "string": "String",
+    "text": "String",
+    "datetime": "String",
+    "boolean": "%bool",
+}
+
+
+@dataclass
+class Step:
+    """One fuzz event.  ``op`` selects the shape; unused fields stay None.
+
+    ops: ``create_table`` (columns + a model-class load), ``add_column``,
+    ``drop_column``, ``rename_column``, ``rename_table`` (fuzz tables only,
+    with a fresh model class for the new name), ``drop_table`` (fuzz tables
+    only), ``insert`` / ``update`` / ``delete`` (row traffic), ``load_probe``
+    (a post-build method load querying a model), ``check`` (checkpoint: run
+    every invariant now).
+    """
+
+    op: str
+    table: str | None = None
+    column: str | None = None
+    to: str | None = None            # rename target (column or table)
+    kind: str | None = None          # column kind for add_column / probes
+    columns: list = field(default_factory=list)   # create_table: [[name, kind]]
+    values: dict = field(default_factory=dict)    # insert / update payload
+    where: list = field(default_factory=list)     # ["eq", column, literal]
+    cls: str | None = None           # model / probe class to load
+    model: str | None = None         # probe target model class
+    shape: str | None = None         # probe shape: "pluck" | "exists"
+
+    def to_json(self) -> dict:
+        record = {}
+        for key, value in asdict(self).items():
+            if value is None or value == [] or value == {}:
+                continue
+            record[key] = value
+        return record
+
+    @classmethod
+    def from_json(cls, record: dict) -> "Step":
+        return cls(**record)
+
+    def describe(self) -> str:
+        if self.op == "create_table":
+            cols = ", ".join(f"{n}:{k}" for n, k in self.columns)
+            return f"create_table {self.table}({cols}) + class {self.cls}"
+        if self.op == "add_column":
+            return f"add_column {self.table}.{self.column} {self.kind}"
+        if self.op == "drop_column":
+            return f"drop_column {self.table}.{self.column}"
+        if self.op == "rename_column":
+            return f"rename_column {self.table}.{self.column} -> {self.to}"
+        if self.op == "rename_table":
+            return f"rename_table {self.table} -> {self.to} + class {self.cls}"
+        if self.op == "drop_table":
+            return f"drop_table {self.table}"
+        if self.op in ("insert", "update", "delete"):
+            return f"{self.op} {self.table} {self.values or ''} {self.where or ''}".rstrip()
+        if self.op == "load_probe":
+            return (f"load_probe {self.cls}: {self.model}.{self.shape} "
+                    f"on {self.table}.{self.column}")
+        return self.op
+
+
+def events_to_json(events) -> list[dict]:
+    return [step.to_json() for step in events]
+
+
+def events_from_json(records) -> list[Step]:
+    return [Step.from_json(dict(record)) for record in records]
+
+
+def _ruby_literal(value) -> str:
+    if value is None:
+        return "nil"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def probe_source(step: Step, label: str) -> str:
+    """Render a ``load_probe`` step as a mini-Ruby program.
+
+    The probe is a fresh class with one annotated class method querying the
+    target model — a post-build method load whose verdict tracks the probed
+    table/column through later migrations (dropping the column must flip it
+    to an error on every twin identically).
+    """
+    method = step.cls.lower()
+    if step.shape == "exists":
+        value = step.values.get(step.column) if step.values else None
+        query = (f"{step.model}.exists?("
+                 f"{{ {step.column}: {_ruby_literal(value)} }})")
+        signature = "() -> %bool"
+    else:
+        query = f"{step.model}.pluck(:{step.column})"
+        signature = f"() -> Array<{KIND_TYPES.get(step.kind, 'String')}>"
+    return (
+        f"class {step.cls}\n"
+        f"  type \"{signature}\", typecheck: :{label}\n"
+        f"  def self.{method}\n"
+        f"    {query}\n"
+        f"  end\n"
+        f"end\n"
+    )

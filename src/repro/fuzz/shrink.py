@@ -1,0 +1,45 @@
+"""Delta-debugging shrinker: minimal event lists from failing storms.
+
+Classic ddmin over the event list: try dropping large chunks first, halve
+the chunk size when nothing can be dropped, stop at granularity 1.  The
+harness skips steps whose preconditions were deleted, so every candidate
+subsequence is runnable — no generator state to repair.
+
+The run budget is capped: each candidate costs a full twin-universe
+replay, so the shrinker prefers a small non-minimal repro over an exact
+minimum that takes minutes to find.
+"""
+
+from __future__ import annotations
+
+
+def shrink_events(events, fails, max_runs: int = 40):
+    """Smallest subsequence of ``events`` for which ``fails`` stays true.
+
+    ``fails(candidate) -> bool`` replays a candidate and reports whether
+    the failure reproduces; it is never called on the full input (the
+    caller just observed that failure).  Returns the (possibly unshrunk)
+    failing list once no chunk can be dropped or the run budget is spent.
+    """
+    current = list(events)
+    runs = 0
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1 and runs < max_runs:
+        shrunk = False
+        start = 0
+        while start < len(current) and runs < max_runs:
+            candidate = current[:start] + current[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            runs += 1
+            if fails(candidate):
+                current = candidate  # keep the deletion, stay at this start
+                shrunk = True
+            else:
+                start += chunk
+        if not shrunk or chunk == 1:
+            if chunk == 1:
+                break
+        chunk = max(1, chunk // 2)
+    return current

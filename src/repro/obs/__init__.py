@@ -27,7 +27,7 @@ own pid, so one exported trace shows the whole fleet on a shared
 
 from __future__ import annotations
 
-from repro.obs import provenance
+from repro.obs import faults, provenance
 from repro.obs.export import (
     ExportPathError,
     chrome_trace,
@@ -63,7 +63,8 @@ __all__ = [
     "ExportPathError", "NULL_SPAN", "Span", "absorb", "buffered", "bump",
     "chrome_trace", "counters", "disable", "drain", "enable", "enabled",
     "env_enabled", "env_trace_path", "event", "events",
-    "export_chrome_trace", "mark", "metrics_diff", "metrics_snapshot",
+    "export_chrome_trace", "faults", "mark", "metrics_diff",
+    "metrics_snapshot",
     "open_export", "phase_summary", "provenance", "render_summary", "reset",
     "set_enabled", "span", "traced",
 ]

@@ -64,9 +64,17 @@ def metrics_snapshot(*sources) -> dict:
 
     for name, value in spans.counters().items():
         snap[f"counters.{name}"] = value
+        # robustness counters get first-class dotted keys alongside the
+        # generic counters.* namespace: dashboards watching the fuzzer or
+        # fault-injection harness shouldn't depend on the prefix
+        if name.split(".", 1)[0] in ("fuzz", "faults", "sessions"):
+            snap[name] = value
 
     snap["obs.enabled"] = spans.enabled()
     snap["obs.buffered_events"] = spans.buffered()
+
+    from repro.obs import faults
+    snap["faults.enabled"] = faults.enabled()
 
     from repro.obs import provenance
     snap["provenance.enabled"] = provenance.enabled()

@@ -52,6 +52,7 @@ from repro.parallel.protocol import (
     ShardTask,
 )
 from repro.parallel.sessions import (
+    DEADLINE_S,
     SessionPool,
     SessionRequestFailed,
     WarmRun,
@@ -66,6 +67,11 @@ SPLIT_IMBALANCE_TOLERANCE = 1.25
 #: ceiling/decay for the feedback-driven split bias
 SPLIT_BIAS_MAX = 8.0
 SPLIT_BIAS_DECAY = 0.7
+#: session-sync retry budget: a lost/failed sync drops the pool (stale
+#: pipes cannot be resynchronized) and cold-reattaches a fresh one after
+#: an exponential backoff
+SYNC_ATTEMPTS = 3
+SYNC_BACKOFF_S = 0.05
 
 
 class WarmSyncError(RuntimeError):
@@ -128,8 +134,13 @@ class ParallelCheckEngine:
 
     def __init__(self, workers: int | None = None,
                  stats: IncrementalStats | None = None,
-                 backend: str | None = None):
+                 backend: str | None = None,
+                 deadline_s: float | None = None):
         self.workers = max(1, workers or os.cpu_count() or 1)
+        # per-recv reply deadline for session workers (None → the process
+        # default in sessions.DEADLINE_S); a wedged worker is killed and
+        # re-planned around instead of blocking the engine forever
+        self.deadline_s = deadline_s
         # storage backend name for every universe this fleet builds —
         # parent-side catalogs and worker-side rebuilds alike (None → the
         # REPRO_DB_BACKEND environment default, which spawn children
@@ -595,11 +606,32 @@ class ParallelCheckEngine:
         """
         if self._session_id is None:
             raise WarmSyncError("no session attached")
-        if self._session_pool is None:
-            self._session_pool = SessionPool(self.workers)
         sync_span = obs_spans.span("session.sync", label=self._session_id)
         with sync_span:
-            self._sync_session_inner(rdl, sync_span)
+            backoff = SYNC_BACKOFF_S
+            for attempt in range(SYNC_ATTEMPTS):
+                if self._session_pool is None:
+                    self._session_pool = SessionPool(
+                        self.workers, deadline_s=self.deadline_s)
+                try:
+                    self._sync_session_inner(rdl, sync_span)
+                    return
+                except (WorkerLost, SessionRequestFailed):
+                    # a failed sync leaves pipes with unread or missing
+                    # replies that a request/reply transport cannot
+                    # resynchronize: drop the whole pool and cold-reattach
+                    # a fresh one after an exponential backoff.  (A
+                    # WarmSyncError divergence is deterministic — retrying
+                    # would rebuild the same divergent replica — so it
+                    # propagates immediately.)
+                    self._session_pool.close()
+                    self._session_pool = None
+                    if attempt == SYNC_ATTEMPTS - 1:
+                        raise
+                    obs_spans.bump("sessions.reattach_retries")
+                    sync_span.set("reattach_retries", attempt + 1)
+                    time.sleep(backoff)
+                    backoff *= 2
 
     def _sync_session_inner(self, rdl, sync_span) -> None:
         handles = self._session_pool.ensure()
@@ -629,7 +661,11 @@ class ParallelCheckEngine:
                 continue
         for handle in sent:
             try:
-                ack = handle.recv()
+                # cold attaches legitimately take seconds (full app build),
+                # so acks get the generous process-default deadline even
+                # when the engine runs with a tight per-request one
+                ack = handle.recv(deadline_s=max(
+                    DEADLINE_S[0], self.deadline_s or 0.0))
             except WorkerLost:
                 continue
             obs_spans.absorb(getattr(ack, "spans", ()))
@@ -674,7 +710,9 @@ class ParallelCheckEngine:
             handle.loads_applied = len(loads)
 
         if not self._attached_workers():
-            raise WarmSyncError("no session workers survived the sync")
+            # WorkerLost (not WarmSyncError) so _sync_session's retry loop
+            # respawns the pool and tries again before anyone falls back
+            raise WorkerLost("no session workers survived the sync")
 
     def _run_warm_shards(self, shards: list[Shard]) -> tuple[list[ShardResult], int]:
         """Fan shards out to attached workers; re-plan lost shards onto

@@ -15,6 +15,14 @@ surviving workers instead of losing the round.  A worker-side failure that
 is *not* a crash comes back as a ``SessionError`` reply and is raised as
 :class:`SessionRequestFailed`, which the engine treats as "this delta
 cannot be bounded" (fall back / re-attach), never as a dead process.
+
+A third failure mode is the worker that is alive but never replies — a
+wedged pipe would otherwise block ``recv()`` forever.  Every recv carries
+a deadline (per-handle default, overridable per call, process default in
+the ``DEADLINE_S`` cell / ``REPRO_SESSION_DEADLINE_S`` env); on expiry the
+worker is killed — its reply stream can no longer be trusted — and
+:class:`WorkerWedged` (a ``WorkerLost``) routes into the same shard-retry
+path as a crash.
 """
 
 from __future__ import annotations
@@ -22,12 +30,26 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 
+from repro.obs.spans import bump
 from repro.parallel import worker as worker_mod
 from repro.parallel.protocol import SessionError, ShardResult, Shutdown
 
 _SESSION_COUNTER = itertools.count(1)
+
+
+def _default_deadline() -> float:
+    try:
+        return float(os.environ.get("REPRO_SESSION_DEADLINE_S", "") or 120.0)
+    except ValueError:
+        return 120.0
+
+
+#: process-wide default recv deadline in seconds (cell so tests can patch
+#: it without re-importing); ``<= 0`` disables the deadline entirely
+DEADLINE_S: list[float] = [_default_deadline()]
 
 
 def new_session_id() -> str:
@@ -37,6 +59,14 @@ def new_session_id() -> str:
 
 class WorkerLost(RuntimeError):
     """The worker process died (or its pipe broke) mid-conversation."""
+
+
+class WorkerWedged(WorkerLost):
+    """The worker missed its reply deadline; it was killed and marked lost.
+
+    Subclasses :class:`WorkerLost` so every existing retry/re-plan path
+    treats a wedged worker exactly like a crashed one.
+    """
 
 
 class SessionRequestFailed(RuntimeError):
@@ -50,8 +80,11 @@ class SessionRequestFailed(RuntimeError):
 class SessionWorkerHandle:
     """One live session worker process plus its sync bookkeeping."""
 
-    def __init__(self, ctx, index: int):
+    def __init__(self, ctx, index: int, deadline_s: float | None = None):
         self.index = index
+        #: default recv deadline for this handle (None: use the process
+        #: default cell at call time; <= 0 disables)
+        self.deadline_s = deadline_s
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.conn = parent_conn
         self.process = ctx.Process(
@@ -86,10 +119,23 @@ class SessionWorkerHandle:
                 f"worker {self.index} (pid {self.pid}) died on send: "
                 f"{exc!r}") from exc
 
-    def recv(self):
+    def recv(self, deadline_s: float | None = None):
+        """Receive one reply, bounded by a deadline.
+
+        ``deadline_s`` overrides the handle default (which overrides the
+        process-wide ``DEADLINE_S`` cell); ``<= 0`` waits forever.  On
+        expiry the worker is killed — once a reply is late the stream can
+        never be resynchronized — and :class:`WorkerWedged` is raised.
+        """
         if not self.alive:
             raise WorkerLost(f"worker {self.index} already marked dead")
+        if deadline_s is None:
+            deadline_s = self.deadline_s
+        if deadline_s is None:
+            deadline_s = DEADLINE_S[0]
         try:
+            if deadline_s > 0 and not self._poll(deadline_s):
+                self._wedged(deadline_s)
             reply = self.conn.recv()
         except (BrokenPipeError, EOFError, OSError) as exc:
             self._lost()
@@ -99,6 +145,29 @@ class SessionWorkerHandle:
         if isinstance(reply, SessionError):
             raise SessionRequestFailed(reply)
         return reply
+
+    def _poll(self, deadline_s: float) -> bool:
+        """True if a reply arrived within ``deadline_s`` seconds."""
+        expires = time.monotonic() + deadline_s
+        while True:
+            remaining = expires - time.monotonic()
+            if remaining <= 0:
+                return False
+            # bounded slices so a clock jump can't extend the wait unbounded
+            if self.conn.poll(min(remaining, 1.0)):
+                return True
+
+    def _wedged(self, deadline_s: float) -> None:
+        pid = self.pid
+        try:
+            self.process.kill()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        self._lost()
+        bump("sessions.recv_timeouts")
+        raise WorkerWedged(
+            f"worker {self.index} (pid {pid}) missed its {deadline_s:g}s "
+            f"reply deadline; killed and marked lost")
 
     def _lost(self) -> None:
         self.alive = False
@@ -129,8 +198,9 @@ class SessionWorkerHandle:
 class SessionPool:
     """A fixed-size fleet of session workers with respawn-on-death."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, deadline_s: float | None = None):
         self.size = max(1, size)
+        self.deadline_s = deadline_s
         self._ctx = multiprocessing.get_context("spawn")
         self.workers: list[SessionWorkerHandle] = []
         self._next_index = 0  # never reused, so diagnostics stay unambiguous
@@ -141,7 +211,8 @@ class SessionPool:
         self.workers = [h for h in self.workers if h.alive]
         while len(self.workers) < self.size:
             self.workers.append(
-                SessionWorkerHandle(self._ctx, self._next_index))
+                SessionWorkerHandle(self._ctx, self._next_index,
+                                    deadline_s=self.deadline_s))
             self._next_index += 1
         return list(self.workers)
 

@@ -32,8 +32,11 @@ import os
 import time
 
 from repro.incremental.versioning import SchemaEvent
+from repro.obs import faults as obs_faults
 from repro.obs import provenance as obs_prov
 from repro.obs import spans as obs_spans
+
+_FAULTS_ON = obs_faults.ENABLED  # cached cell: zero-cost guard when off
 from repro.parallel.protocol import (
     AttachAck,
     AttachUniverse,
@@ -136,6 +139,9 @@ def session_main(conn) -> None:
     :class:`Shutdown`, a closed pipe, or a dead parent.
     """
     sessions: dict[str, dict[str, object]] = {}
+    # spawn children inherit env, not the parent's cells: re-arm any
+    # injected faults published through REPRO_FAULTS (fuzz harness)
+    obs_faults.load_env()
     while True:
         try:
             message = conn.recv()
@@ -144,6 +150,11 @@ def session_main(conn) -> None:
         if isinstance(message, Shutdown):
             break
         try:
+            if _FAULTS_ON[0]:
+                # inside the try: an `error` fault becomes a SessionError
+                # reply, a `wedge` delays the reply past the engine's recv
+                # deadline, a `die` kills this process mid-conversation
+                obs_faults.fire(f"worker.{type(message).__name__}")
             reply = _serve(sessions, message)
         except Exception as exc:  # noqa: BLE001 — ship it, keep serving
             reply = SessionError(
@@ -209,14 +220,25 @@ def _apply_delta(sessions: dict, message: SessionDelta) -> DeltaAck:
     with obs_spans.span("session.delta", label=message.session_id) as sp:
         sp.set("events", len(events))
         sp.set("loads", len(message.loads))
-        for rdl in session.values():
-            # replicas already past some events skip them, so report the most
-            # any replica applied (not a per-replica overwrite or a sum)
-            ack.events_applied = max(ack.events_applied, rdl.db.replay(events))
-        for source in message.loads:
+        try:
             for rdl in session.values():
-                rdl.load(source)
-            ack.loads_applied += 1
+                # replicas already past some events skip them, so report the
+                # most any replica applied (not a per-replica overwrite or a
+                # sum)
+                ack.events_applied = max(ack.events_applied,
+                                         rdl.db.replay(events))
+            for source in message.loads:
+                for rdl in session.values():
+                    rdl.load(source)
+                ack.loads_applied += 1
+        except Exception:
+            # a partial replay leaves replicas half-migrated; they must
+            # never serve another request, so poison the whole session —
+            # the next round's request errors ("no attached session"),
+            # forcing a cold re-attach instead of replaying onto divergent
+            # state
+            sessions.pop(message.session_id, None)
+            raise
     ack.generations = {
         label: rdl.db.version for label, rdl in session.items()
     }

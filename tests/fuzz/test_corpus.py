@@ -1,0 +1,38 @@
+"""Replay every committed crasher: a parity bug found once stays fixed.
+
+Each JSON file under ``tests/fuzz/corpus/`` is a (shrunk) event sequence
+that once violated an invariant.  Replaying it must now pass — a failure
+here means a fixed parity bug has returned.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz import StormConfig, load_crasher, run_events
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+_FILES = sorted(glob.glob(os.path.join(CORPUS, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert _FILES, "tests/fuzz/corpus must hold at least one crasher"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "path", _FILES, ids=[os.path.basename(p) for p in _FILES])
+def test_corpus_sequence_stays_fixed(path):
+    meta, events = load_crasher(path)
+    config = StormConfig(
+        seed=meta.get("seed", 0),
+        steps=max(1, len(events)),
+        profile=meta.get("profile", "migrations"),
+        app=meta.get("app", "huginn"),
+    )
+    report = run_events(events, config)
+    assert report.ok, (
+        f"{os.path.basename(path)} regressed "
+        f"(historical failure: {meta.get('invariant')}: "
+        f"{meta.get('detail')}): {report.summary()}")

@@ -1,0 +1,76 @@
+"""Generator determinism and schema-model/step consistency."""
+
+import pytest
+
+from repro.apps import app_for_label
+from repro.fuzz import (
+    SchemaModel,
+    Step,
+    events_from_json,
+    events_to_json,
+    generate_steps,
+)
+
+
+def _fresh_model() -> SchemaModel:
+    rdl = app_for_label("huginn").build(backend="memory")
+    return SchemaModel.of_universe(rdl)
+
+
+def test_same_seed_same_sequence():
+    first = generate_steps(7, _fresh_model(), 40)
+    second = generate_steps(7, _fresh_model(), 40)
+    assert [s.to_json() for s in first] == [s.to_json() for s in second]
+
+
+def test_different_seeds_diverge():
+    a = generate_steps(0, _fresh_model(), 40)
+    b = generate_steps(1, _fresh_model(), 40)
+    assert [s.to_json() for s in a] != [s.to_json() for s in b]
+
+
+def test_generated_steps_all_apply_in_order():
+    events = generate_steps(3, _fresh_model(), 60)
+    model = _fresh_model()
+    for step in events:
+        assert model.applies(step), f"inapplicable: {step.describe()}"
+        model.apply(step)
+
+
+def test_check_cadence_and_terminal_check():
+    events = generate_steps(5, _fresh_model(), 30, check_every=4)
+    assert events[-1].op == "check"
+    gap = 0
+    for step in events:
+        if step.op == "check":
+            gap = 0
+        else:
+            gap += 1
+            assert gap <= 4
+
+
+def test_json_round_trip():
+    events = generate_steps(11, _fresh_model(), 30)
+    replayed = events_from_json(events_to_json(events))
+    assert [s.to_json() for s in replayed] == [s.to_json() for s in events]
+
+
+def test_model_skips_inapplicable_steps():
+    model = _fresh_model()
+    assert not model.applies(Step(op="insert", table="no_such_table",
+                                  values={"x": 1}))
+    assert not model.applies(Step(op="drop_column", table="agents",
+                                  column="id"))
+    # subject-app tables may evolve column-wise but never vanish
+    assert not model.applies(Step(op="drop_table", table="agents"))
+    assert model.applies(Step(op="check"))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_storm_mixes_migrations_and_probes(seed):
+    events = generate_steps(seed, _fresh_model(), 80)
+    ops = {step.op for step in events}
+    assert "check" in ops
+    assert ops & {"create_table", "add_column", "drop_column",
+                  "rename_column"}
+    assert ops & {"insert", "update", "delete"}
