@@ -2,9 +2,11 @@
 
 ``run_all.py`` files every summary under ``benchmarks/history/`` with a
 chronologically-sorting name (UTC timestamp + short git SHA).  This tool
-loads the latest two entries, diffs per-benchmark wall and CPU time, and
-flags anything that got more than 15% slower — the smoke-level regression
-signal CI records on every PR.
+loads the latest two entries, diffs per-benchmark wall and CPU time plus
+every harvested pass-criterion scalar, and flags anything that moved more
+than 15% in its bad direction — slower for costs, smaller for speedups /
+hit rates / setup-cost drops, true->false for pass and parity bits — the
+smoke-level regression signal CI records on every PR.
 
 Timing noise in quick mode is real (CI machines, one-round benchmarks), so
 regressions below an absolute floor are ignored: a bench that went from
@@ -31,6 +33,17 @@ HISTORY_DIR = os.path.join(HERE, "history")
 
 #: regressions smaller than this many seconds are quick-mode jitter
 ABS_FLOOR_S = 0.25
+
+#: metric-name substrings where HIGHER is better — for these a *drop*
+#: past the threshold is the regression (a speedup shrinking, a hit rate
+#: or a setup-cost drop eroding), not growth
+_HIGHER_BETTER = ("speedup", "hit_rate", "ratio", "drop")
+
+
+def _direction(key: str) -> str:
+    """``"higher"`` when a larger value is better, else ``"lower"``."""
+    lowered = key.lower()
+    return "higher" if any(h in lowered for h in _HIGHER_BETTER) else "lower"
 
 
 def latest_runs(history_dir: str, count: int = 2) -> list[tuple[str, dict]]:
@@ -84,8 +97,50 @@ def compare(before: dict, after: dict,
                 "pct": round(pct, 1), "regressed": regressed,
             }
             row["regressed"] |= regressed
+        _compare_metrics(row, old_benches[name].get("metrics") or {},
+                         new_benches[name].get("metrics") or {},
+                         threshold_pct)
         rows.append(row)
     return rows
+
+
+def _compare_metrics(row: dict, old_metrics: dict, new_metrics: dict,
+                     threshold_pct: float) -> None:
+    """Direction-aware diff of the harvested pass-criterion scalars.
+
+    Booleans (``pass`` flags, parity bits) regress when they flip from
+    true to false.  Numerics regress when they move more than
+    ``threshold_pct`` percent in the *bad* direction for their name:
+    growth for costs (``wall``, ``per_eval``, ``warm_setup``), shrinkage
+    for ``speedup`` / ``hit_rate`` / ``ratio`` / ``drop``.  Seconds-valued
+    keys additionally need to move by :data:`ABS_FLOOR_S` — quick-mode
+    jitter is not a finding.  Only moved metrics land in the row.
+    """
+    for key in sorted(set(old_metrics) & set(new_metrics)):
+        old, new = old_metrics[key], new_metrics[key]
+        if isinstance(old, bool) or isinstance(new, bool):
+            if bool(old) == bool(new):
+                continue
+            regressed = bool(old) and not bool(new)
+            row["deltas"][key] = {"before": old, "after": new,
+                                  "pct": None, "regressed": regressed}
+            row["regressed"] |= regressed
+            continue
+        if not isinstance(old, (int, float)) or \
+                not isinstance(new, (int, float)) or not old:
+            continue
+        delta = new - old
+        pct = delta / old * 100.0
+        if _direction(key) == "higher":
+            regressed = -pct > threshold_pct
+        else:
+            floor = ABS_FLOOR_S if key.endswith("_s") else 0.0
+            regressed = pct > threshold_pct and abs(delta) > floor
+        if not regressed and abs(pct) <= threshold_pct:
+            continue  # unmoved pass-criteria stay out of the report
+        row["deltas"][key] = {"before": old, "after": new,
+                              "pct": round(pct, 1), "regressed": regressed}
+        row["regressed"] |= regressed
 
 
 def render(rows: list[dict], before_name: str, after_name: str) -> str:
@@ -97,8 +152,13 @@ def render(rows: list[dict], before_name: str, after_name: str) -> str:
         parts = []
         for metric, d in row["deltas"].items():
             flag = "  ** REGRESSION **" if d["regressed"] else ""
-            parts.append(f"{metric} {d['before']:.2f}s -> {d['after']:.2f}s "
-                         f"({d['pct']:+.1f}%){flag}")
+            if d["pct"] is None:  # boolean pass/parity flip
+                parts.append(f"{metric} {d['before']} -> {d['after']}{flag}")
+                continue
+            unit = "s" if metric in ("wall_s", "cpu_s") else ""
+            parts.append(
+                f"{metric} {d['before']:.2f}{unit} -> {d['after']:.2f}{unit} "
+                f"({d['pct']:+.1f}%){flag}")
         lines.append(f"  {row['bench']}: " + "; ".join(parts))
     flagged = [r["bench"] for r in rows if r.get("regressed")]
     lines.append(f"regressions flagged: {len(flagged)}"

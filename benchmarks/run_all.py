@@ -7,8 +7,8 @@ tracking.  Two benchmark styles are dispatched automatically:
 
 * **script benchmarks** (``bench_incremental``, ``bench_parallel``,
   ``bench_backends``, ``bench_hotpath``, ``bench_warm``,
-  ``bench_analysis``, ``bench_fuzz``) have a ``main()`` and quick/JSON
-  switches of their own;
+  ``bench_analysis``, ``bench_fuzz``, ``bench_membership``) have a
+  ``main()`` and quick/JSON switches of their own;
 * **pytest benchmarks** (everything else) run under pytest with
   pytest-benchmark forced to one warm-up-free round, writing its own
   ``--benchmark-json``.
@@ -146,7 +146,7 @@ def main() -> int:
         json_path = os.path.join(out, f"{name}.json")
         env_one = env
         if name in ("bench_parallel", "bench_warm", "bench_analysis",
-                    "bench_fuzz"):
+                    "bench_fuzz", "bench_membership"):
             cmd = [sys.executable, path, "--quick", "--json", json_path]
         elif name in ("bench_incremental", "bench_backends", "bench_hotpath"):
             cmd = [sys.executable, path]

@@ -101,6 +101,10 @@ class CompRDL:
         self._method_event_log: list = []
         self._migrating_loads = False
         self._warm_engine = None
+        # True when _warm_engine was adopted from a caller-owned fleet
+        # (adopt_warm_engine): shutdown_warm then detaches instead of
+        # closing — the owner's cold rounds must keep working
+        self._warm_engine_adopted = False
         # per-recv reply deadline for warm session workers (None → the
         # process default, sessions.DEADLINE_S); set before the first
         # recheck_dirty(workers=N) call — the fuzzer's fault profile uses a
@@ -250,11 +254,33 @@ class CompRDL:
         ``last_warm_run``."""
         return self._warm_engine
 
+    def adopt_warm_engine(self, engine) -> None:
+        """Use ``engine``'s worker fleet for ``recheck_dirty(workers=N)``.
+
+        A fleet that already ran cold rounds (or was primed) holds pristine
+        replicas in its workers' warm catalogs, so the first session attach
+        adopts them instead of rebuilding — the shared-catalog path that
+        collapses warm-setup cost.  The adopting universe does NOT own the
+        engine: ``shutdown_warm()`` releases the reference without closing
+        it, and the caller remains responsible for ``engine.close()``.
+        """
+        if self._warm_engine is engine:
+            return
+        self.shutdown_warm()
+        self._warm_engine = engine
+        self._warm_engine_adopted = True
+
     def shutdown_warm(self) -> None:
-        """Shut down the warm session workers (if any)."""
+        """Shut down the warm session workers (if any).  An adopted engine
+        (:meth:`adopt_warm_engine`) is detached, not closed — its owner
+        keeps using the fleet."""
         if self._warm_engine is not None:
-            self._warm_engine.close()
+            if self._warm_engine_adopted:
+                self._warm_engine.detach()
+            else:
+                self._warm_engine.close()
             self._warm_engine = None
+        self._warm_engine_adopted = False
 
     @property
     def incremental_stats(self) -> IncrementalStats:

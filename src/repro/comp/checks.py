@@ -12,6 +12,14 @@ interpreter consults the spec:
   values (contract-style);
 * **after the call** — the returned value is checked against the computed
   return type: λC's checked call ⌈A⌉e.m(e), reducing to blame on failure.
+
+Specs are *specialized at construction*: the argument and return types are
+lowered once into compiled membership predicates
+(:mod:`repro.runtime.member_compile`), so the per-call loop does no type
+dispatch.  Under ``REPRO_MEMBERSHIP=structural`` no plan is bound and every
+check routes through the reference ``value_has_type`` walker instead;
+failure messages are rendered from the original types in both modes, so
+Blame is byte-identical.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.rtypes import CompExpr, RType
 from repro.runtime.errors import Blame
+from repro.runtime.member_compile import predicate_for, structural_mode
 from repro.runtime.membership import value_has_type
 
 
@@ -40,6 +49,36 @@ class CheckSpec:
     # inputs (bindings) are fixed per call site, so the comp results can
     # only change when the mutable state they consult changes (§4)
     _validated_version: int | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._bind_plan()
+
+    def _bind_plan(self) -> None:
+        """Precompile the membership plan for this spec's signature.
+
+        ``_arg_plan`` pairs each compiled predicate with the original type
+        (kept for Blame rendering); ``None`` plans mean structural mode.
+        """
+        if structural_mode():
+            self._arg_plan = None
+            self._ret_pred = None
+            return
+        self._arg_plan = [(predicate_for(t), t) for t in self.arg_types]
+        self._ret_pred = predicate_for(self.ret_type)
+
+    def __getstate__(self):
+        # plans hold process-local closures (inline caches, interp
+        # weakrefs): scrub on pickle, rebind on unpickle — specs crossing
+        # the fleet's process boundary recompile against the worker's
+        # intern table
+        state = dict(self.__dict__)
+        state["_arg_plan"] = None
+        state["_ret_pred"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._bind_plan()
 
     def before_call(self, interp, receiver, args, line) -> None:
         version = getattr(interp.db, "version", 0) if interp.db else 0
@@ -66,16 +105,29 @@ class CheckSpec:
         self._check_arg_values(interp, args, line)
 
     def _check_arg_values(self, interp, args, line) -> None:
-        if self.check_args:
-            for value, expected in zip(args, self.arg_types):
-                if not value_has_type(interp, value, expected):
+        if not self.check_args:
+            return
+        plan = self._arg_plan
+        if plan is not None:
+            for value, (pred, expected) in zip(args, plan):
+                if not pred(interp, value):
                     raise Blame(
                         f"argument to {self.method_desc} is not a "
                         f"{expected.to_s()}", line, col=self.col,
                     )
+            return
+        for value, expected in zip(args, self.arg_types):
+            if not value_has_type(interp, value, expected):
+                raise Blame(
+                    f"argument to {self.method_desc} is not a "
+                    f"{expected.to_s()}", line, col=self.col,
+                )
 
     def after_call(self, interp, receiver, args, result, line) -> None:
-        if not value_has_type(interp, result, self.ret_type):
+        pred = self._ret_pred
+        ok = (pred(interp, result) if pred is not None
+              else value_has_type(interp, result, self.ret_type))
+        if not ok:
             raise Blame(
                 f"{self.method_desc} returned a value outside its computed "
                 f"type {self.ret_type.to_s()}", line, col=self.col,

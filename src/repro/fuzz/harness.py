@@ -15,6 +15,11 @@ the environment (session workers re-arm themselves on spawn) — a wedged
 ``CheckRequest`` reply, an injected storage error mid-journal-replay —
 and SIGKILLs a live session worker at a fixed checkpoint.  The invariants
 are asserted unchanged: degradation must be invisible in verdicts.
+
+Checkpoints additionally assert membership-backend parity (invariant 5):
+every type carried by the reference twin's check specs, probed against a
+fixed value corpus, must produce identical verdicts from the compiled
+predicates and the structural ``value_has_type`` walker.
 """
 
 from __future__ import annotations
@@ -126,6 +131,21 @@ def _report_key(report):
             report.casts_used, report.oracle_casts)
 
 
+def _membership_probes(interp) -> tuple:
+    """The fixed value corpus for invariant 5: one probe per runtime-value
+    shape the membership walker dispatches on, accept and reject paths
+    both reachable for every constructor the check specs carry."""
+    from repro.runtime.objects import RArray, RHash, RString, Sym
+
+    return (
+        None, True, False, 0, 3, 2.5,
+        RString("probe"), RString(""), Sym("id"),
+        RArray([1, 2]), RArray([1, RString("x")]),
+        RHash.from_pairs([(Sym("id"), 1), (Sym("name"), RString("n"))]),
+        interp.classes["Integer"],
+    )
+
+
 def _predicate(where):
     _op, column, value = where
     return lambda row: row.get(column) == value
@@ -183,6 +203,7 @@ class _Storm:
         for rdl in self.twins:
             rdl.check_all(self.label)
         self.model = SchemaModel.of_universe(self.mem)
+        self.probes = _membership_probes(self.mem.interp)
         self.checkpoints = 0
         self.warm_remote = 0
 
@@ -194,7 +215,7 @@ class _Storm:
         for rdl in self.twins:
             _apply_step(rdl, step, self.label)
 
-    # -- the four invariants -------------------------------------------
+    # -- the five invariants -------------------------------------------
     def checkpoint(self, step_index: int) -> None:
         bump("fuzz.checks")
         index = self.checkpoints
@@ -266,6 +287,28 @@ class _Storm:
                     f"{key}: static tables {sorted(footprint.tables)} "
                     f"(wildcard={footprint.wildcard}) does not cover "
                     f"dynamic tables {sorted(deps.tables)}")
+
+        # invariant 5: compiled membership ≡ structural walker — every
+        # type the §4 guards would test, probed against a fixed value
+        # corpus under both backends (the schema churn above is exactly
+        # what reshapes the comp-evaluated types these guards carry)
+        from repro.runtime.member_compile import predicate_for
+        from repro.runtime.membership import value_has_type
+
+        interp = self.mem.interp
+        for spec in interp.check_table.values():
+            for rtype in list(spec.arg_types) + [spec.ret_type]:
+                pred = predicate_for(rtype)
+                for value in self.probes:
+                    bump("fuzz.member_probes")
+                    compiled = pred(interp, value)
+                    structural = value_has_type(interp, value, rtype)
+                    if compiled != structural:
+                        self._fail(
+                            "membership-parity", step_index,
+                            f"{spec.method_desc}: {rtype.to_s()} vs "
+                            f"{value!r}: compiled={compiled} "
+                            f"structural={structural}")
 
     def _fail(self, invariant: str, step_index: int, detail: str):
         bump("fuzz.violations")

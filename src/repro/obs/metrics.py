@@ -10,6 +10,8 @@ flat dict with dotted, **stable** key names:
   :class:`~repro.incremental.stats.IncrementalStats` sources passed in
 * ``vm.inline_cache.hits`` / ``.misses`` / ``.hit_rate`` — the compiled
   backend's per-call-site inline caches (process-wide)
+* ``membership.*`` — the compiled membership predicates' compile counts,
+  predicate-cache shares and nominal inline caches (process-wide)
 * ``intern.types`` / ``intern.fingerprints`` / ``intern.envs`` — the
   hash-consing table sizes (process-wide)
 * ``counters.<name>`` — every live :func:`repro.obs.spans.bump` counter
@@ -52,6 +54,18 @@ def metrics_snapshot(*sources) -> dict:
     snap["vm.inline_cache.misses"] = ic["misses"]
     snap["vm.inline_cache.hit_rate"] = (
         round(ic["hits"] / lookups, 4) if lookups else 0.0)
+
+    from repro.runtime.member_compile import membership_mode, membership_stats
+    ms = membership_stats()
+    probes = ms["ic_hits"] + ms["ic_misses"]
+    snap["membership.mode"] = membership_mode()
+    snap["membership.compiles"] = ms["compiles"]
+    snap["membership.pred_cache_hits"] = ms["pred_cache_hits"]
+    snap["membership.ic_hits"] = ms["ic_hits"]
+    snap["membership.ic_misses"] = ms["ic_misses"]
+    snap["membership.ic_hit_rate"] = (
+        round(ms["ic_hits"] / probes, 4) if probes else 0.0)
+    snap["membership.structural_calls"] = ms["structural_calls"]
 
     # repro.rtypes.__init__ re-exports the intern *function* under the same
     # name as the submodule, so plain ``import repro.rtypes.intern as ...``

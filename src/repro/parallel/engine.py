@@ -171,23 +171,65 @@ class ParallelCheckEngine:
             )
         return self._pool
 
-    def warm_up(self) -> float:
+    def warm_up(self, labels=()) -> float:
         """Spin up every worker (interpreter start + repro imports) now, so
-        checking rounds measure checking.  Returns the warm-up wall time."""
+        checking rounds measure checking.  Each worker pre-builds ``labels``
+        (default: the smallest subject app) into its warm replica catalog,
+        so the first cold round — and a later session attach — reuses them
+        instead of rebuilding.  Returns the warm-up wall time."""
         start = time.perf_counter()
-        list(self.pool().map(worker_mod.warm_up, range(self.workers)))
+        labels = _normalize_labels(labels) if labels else []
+        if not labels:
+            from repro.apps import all_apps
+
+            labels = [min(all_apps(), key=lambda a: a.source_loc()).label]
+        if self.workers == 1:
+            # degenerate fleet: everything runs in-process, nothing to warm
+            return time.perf_counter() - start
+        handles = self._session_handles()
+        task = ShardTask(shard_id=-1, specs=(), backend=self.backend,
+                         prebuild=tuple(labels))
+        sent = []
+        for handle in handles:
+            try:
+                handle.send(task)
+                sent.append(handle)
+            except WorkerLost:
+                continue
+        for handle in sent:
+            try:
+                handle.recv(deadline_s=self._cold_deadline())
+            except (WorkerLost, SessionRequestFailed):
+                continue
         return time.perf_counter() - start
 
     def prime(self, labels) -> float:
         """One-time fleet set-up for ``labels``: build the parent-side
         catalog universes (method enumeration + serial order) and warm every
-        worker.  Returns the set-up wall time; after this, ``check_labels``
-        rounds measure steady-state checking only."""
+        worker, pre-building the labels' replicas worker-side.  Returns the
+        set-up wall time; after this, ``check_labels`` rounds measure
+        steady-state checking only."""
         start = time.perf_counter()
-        for label in _normalize_labels(labels):
+        labels = _normalize_labels(labels)
+        for label in labels:
             self._catalog_universe(label)
-        self.warm_up()
+        self.warm_up(labels)
         return time.perf_counter() - start
+
+    def _session_handles(self):
+        """The shared session-worker pool (spawned on first use): one fleet
+        of processes serves cold shards, warm-up prebuilds and warm
+        sessions, so their module-level replica catalogs are shared."""
+        if self._session_pool is None:
+            self._session_pool = SessionPool(
+                self.workers, deadline_s=self.deadline_s)
+        return self._session_pool.ensure()
+
+    def _cold_deadline(self) -> float:
+        # cold work (full app builds) legitimately takes seconds: use the
+        # generous process default even when the engine runs with a tight
+        # per-request deadline
+        return max(DEADLINE_S[0], self.deadline_s or 0.0)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -280,8 +322,34 @@ class ParallelCheckEngine:
         if self.workers == 1 or len(tasks) <= 1:
             # degenerate fleet: run in-process, same protocol
             return [worker_mod.run_shard(task) for task in tasks]
-        futures = [self.pool().submit(worker_mod.run_shard, task) for task in tasks]
-        return [future.result() for future in futures]
+        # cold shards ride the session workers: same processes (and same
+        # warm replica catalogs) as later session attaches, so a cold
+        # round's builds seed the warm path.  Send all, then recv in task
+        # order (replies are FIFO per pipe); a lost worker's task reruns
+        # in-process so the round always completes.
+        handles = self._session_handles()
+        in_flight: list = []
+        for index, task in enumerate(tasks):
+            handle = handles[index % len(handles)]
+            try:
+                handle.send(task)
+            except WorkerLost:
+                handle = None
+            in_flight.append((handle, task))
+        results: list[ShardResult] = []
+        for handle, task in in_flight:
+            result = None
+            if handle is not None:
+                try:
+                    result = handle.recv(deadline_s=self._cold_deadline())
+                except (WorkerLost, SessionRequestFailed):
+                    obs_spans.event("fleet.worker_lost",
+                                    args={"shard": task.shard_id})
+                    result = None
+            if result is None:
+                result = worker_mod.run_shard(task)
+            results.append(result)
+        return results
 
     def _absorb_costs(self, results: list[ShardResult]) -> None:
         """Feed observed costs back into the planner's model (EWMA per

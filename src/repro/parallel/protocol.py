@@ -87,6 +87,10 @@ class ShardTask:
     #: attribute comp-cache traffic per verdict worker-side (the ``prov``
     #: field on each MethodVerdict); False adds no payload at all
     provenance: bool = False
+    #: labels to build into the worker's warm replica catalog before any
+    #: checking (fleet priming): later shards reuse them in place and a
+    #: session attach adopts them instead of rebuilding
+    prebuild: tuple = ()
 
     @property
     def labels(self) -> tuple[str, ...]:

@@ -82,6 +82,78 @@ def _trace_end(reply, mark: int | None):
     return reply
 
 
+# ---------------------------------------------------------------------------
+# warm replica catalog: cold builds seed later rounds and session attaches
+# ---------------------------------------------------------------------------
+
+#: label universes built pristine by cold shards / prebuild tasks, kept for
+#: reuse by later shards and *taken* by session attaches in this process —
+#: the cold fleet and the warm sessions build the same apps, so one replica
+#: set serves both.  Keyed by (label, backend name, interp mode, membership
+#: mode): the env axes change checking behaviour, and a replica must never
+#: cross them.
+_WARM_CATALOG: dict[tuple, object] = {}
+
+#: catalog participation is opt-in per process: only session workers flip
+#: this on (in :func:`session_main`).  The parent process also runs
+#: :func:`run_shard` in-process (``workers == 1`` fallback paths), where a
+#: process-lifetime universe cache would leak state across independent
+#: engines and tests.
+_CATALOG_ENABLED = [False]
+
+
+def _catalog_key(label: str, backend: str | None) -> tuple:
+    from repro.db.backends import default_backend_name
+
+    return (
+        label,
+        backend or default_backend_name(),
+        os.environ.get("REPRO_INTERP", "") or "compiled",
+        os.environ.get("REPRO_MEMBERSHIP", "") or "compiled",
+    )
+
+
+def _catalog_reusable(rdl) -> bool:
+    """Only pristine replicas may be shared: same guard family as the
+    engine's attach path (generation == pristine, epoch 1, no post-build
+    definitions or loads)."""
+    return (
+        getattr(rdl, "pristine_generation", None) == rdl.db.version
+        and getattr(rdl, "pristine_epoch", 0) == 1
+        and not getattr(rdl, "post_build_methods", None)
+        and not getattr(rdl, "post_build_loads", None)
+    )
+
+
+def _catalog_peek(label: str, backend: str | None):
+    """A cataloged pristine replica for reuse in place, or ``None``."""
+    if not _CATALOG_ENABLED[0]:
+        return None
+    key = _catalog_key(label, backend)
+    rdl = _WARM_CATALOG.get(key)
+    if rdl is None:
+        return None
+    if not _catalog_reusable(rdl):
+        del _WARM_CATALOG[key]  # diverged somehow: never serve it again
+        return None
+    obs_spans.bump("sessions.catalog_hits")
+    return rdl
+
+
+def _catalog_take(label: str, backend: str | None):
+    """Remove and return a cataloged pristine replica (session attaches
+    mutate their replicas via deltas, so adoption is exclusive)."""
+    rdl = _catalog_peek(label, backend)
+    if rdl is not None:
+        del _WARM_CATALOG[_catalog_key(label, backend)]
+    return rdl
+
+
+def _catalog_put(label: str, backend: str | None, rdl) -> None:
+    if _CATALOG_ENABLED[0] and _catalog_reusable(rdl):
+        _WARM_CATALOG[_catalog_key(label, backend)] = rdl
+
+
 def warm_up(token: int = 0) -> int:
     """Force the child to import and exercise the full checking stack (one
     throwaway app build + check), so the first real shard measures checking
@@ -113,7 +185,10 @@ def run_shard(task: ShardTask) -> ShardResult:
         rdl = universes.get(label)
         if rdl is None:
             build_start = time.perf_counter()
-            rdl = app_for_label(label).build(backend=task.backend)
+            rdl = _catalog_peek(label, task.backend)
+            if rdl is None:
+                rdl = app_for_label(label).build(backend=task.backend)
+                _catalog_put(label, task.backend, rdl)
             result.build_s[label] = time.perf_counter() - build_start
             result.db_versions[label] = rdl.db.version
             universes[label] = rdl
@@ -121,6 +196,8 @@ def run_shard(task: ShardTask) -> ShardResult:
 
     with obs_spans.span("shard.run", label=f"shard{task.shard_id}") as sp:
         sp.set("methods", len(task.specs))
+        for label in getattr(task, "prebuild", ()):
+            resolve(label)
         check_specs_into(result, resolve, task.specs)
     return _trace_end(result, trace_mark)
 
@@ -139,6 +216,10 @@ def session_main(conn) -> None:
     :class:`Shutdown`, a closed pipe, or a dead parent.
     """
     sessions: dict[str, dict[str, object]] = {}
+    # session workers are long-lived, single-session-at-a-time processes:
+    # the warm replica catalog is safe (and is the whole point — a cold
+    # shard's builds seed the next attach)
+    _CATALOG_ENABLED[0] = True
     # spawn children inherit env, not the parent's cells: re-arm any
     # injected faults published through REPRO_FAULTS (fuzz harness)
     obs_faults.load_env()
@@ -194,7 +275,13 @@ def _attach(sessions: dict, message: AttachUniverse) -> AttachAck:
         sp.set("labels", len(message.labels))
         for label in message.labels:
             build_start = time.perf_counter()
-            rdl = app_for_label(label).build(backend=message.backend)
+            # adopt a cataloged pristine replica when one exists (built by
+            # an earlier cold shard or prebuild in this process) — the ack
+            # still reports its generation, so the engine's pristine
+            # assertion guards the reuse exactly like a fresh build
+            rdl = _catalog_take(label, message.backend)
+            if rdl is None:
+                rdl = app_for_label(label).build(backend=message.backend)
             ack.build_s[label] = time.perf_counter() - build_start
             ack.generations[label] = rdl.db.version
             replicas[label] = rdl

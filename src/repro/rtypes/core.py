@@ -29,12 +29,15 @@ class RType:
     so they always compare structurally (and hash by class, as before).
     """
 
-    __slots__ = ("_hash", "_interned", "_fp")
+    __slots__ = ("_hash", "_interned", "_fp", "_pred")
 
     def __init__(self) -> None:
         self._hash = -1
         self._interned = False
         self._fp = -1
+        # compiled membership predicate (repro.runtime.member_compile),
+        # bound lazily on first dynamic check of this type
+        self._pred = None
 
     def to_s(self) -> str:
         """Render the type in RDL's surface syntax."""
@@ -96,6 +99,9 @@ class RType:
                     state[name] = getattr(self, name)
         state["_hash"] = -1
         state["_fp"] = -1
+        # compiled membership predicates are closures over this process's
+        # inline caches: never picklable, always recompiled on first use
+        state["_pred"] = None
         return (None, state)
 
     def _intern_args(self) -> tuple:

@@ -96,6 +96,16 @@ def env_count() -> int:
     return len(_ENV_TABLE)
 
 
+def _union_order_key(member: RType) -> tuple[str, str]:
+    """Process-stable sort key for canonical union arm order.
+
+    Derived purely from structure (class name + rendered syntax), never from
+    ids or fingerprints, so memory and sqlite universes — and parent vs
+    spawn-mode workers — all agree on the order arms are probed in.
+    """
+    return (member.__class__.__name__, member.to_s())
+
+
 def try_intern(t: RType | None) -> RType | None:
     """The canonical instance for ``t``, or ``None`` if not internable.
 
@@ -125,8 +135,18 @@ def try_intern(t: RType | None) -> RType | None:
                 return None
             members.append(canon)
             changed = changed or canon is not member
-        candidate = UnionType(tuple(members)) if changed else t
-        return _store(cls, (frozenset(members),), candidate)
+        # Canonicalize arm order: membership probes a union's arms
+        # left-to-right and short-circuits, so an effectful arm (a
+        # ``Table<S>`` schema check) reached in one arrival order but
+        # shadowed in another would make verdicts — and Blame — depend on
+        # which universe interned the union first.  The sort key is
+        # process-stable (rendered syntax + class name, never ids or
+        # fingerprints), so every process derives the same canonical order.
+        ordered = sorted(members, key=_union_order_key)
+        if any(a is not b for a, b in zip(ordered, members)):
+            changed = True
+        candidate = UnionType(tuple(ordered)) if changed else t
+        return _store(cls, (frozenset(ordered),), candidate)
     if cls is GenericType:
         params = _intern_all(t.params)
         if params is None:

@@ -1,4 +1,4 @@
-"""Small fixed-seed storms: the four invariants hold end-to-end."""
+"""Small fixed-seed storms: the five invariants hold end-to-end."""
 
 import pytest
 
@@ -51,6 +51,9 @@ def test_fuzz_counters_in_metrics_snapshot():
     assert snap.get("fuzz.checks", 0) >= 1
     assert snap.get("fuzz.steps", 0) >= 10
     assert "faults.enabled" in snap
+    # invariant 5 must not be vacuous: the subject app carries check
+    # specs, so every checkpoint probes compiled-vs-structural membership
+    assert snap.get("fuzz.member_probes", 0) >= 1
 
 
 def test_shrinker_finds_small_repro():
